@@ -1,0 +1,73 @@
+"""EXP-A1 benchmark: the arbitration (reject) rule on and off.
+
+With arbitration the conflicting-view workloads settle and everyone
+decides; without it the stale instances can only be unblocked by further
+crashes, so the protocol stalls.  Both variants are timed on the Fig. 1b
+growth workload and on a staggered torus crash.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig1b_scenario, run_cliff_edge
+from repro.failures import region_crash
+from repro.graph.generators import square_region, torus
+from repro.sim import JitteredFailureDetector
+
+from conftest import attach_metrics
+
+
+@pytest.mark.parametrize("arbitration", [True, False], ids=["with-reject", "no-reject"])
+def test_fig1b_growth_workload(benchmark, arbitration):
+    scenario = fig1b_scenario()
+
+    def run():
+        return run_cliff_edge(
+            scenario.graph,
+            scenario.schedule,
+            failure_detector=scenario.failure_detector,
+            arbitration_enabled=arbitration,
+            check=False,
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    if arbitration:
+        assert result.metrics.decisions == 4
+    else:
+        assert result.metrics.decisions == 0
+    attach_metrics(
+        benchmark,
+        result,
+        experiment="EXP-A1",
+        workload="fig1b-growth",
+        arbitration=arbitration,
+    )
+
+
+@pytest.mark.parametrize("arbitration", [True, False], ids=["with-reject", "no-reject"])
+def test_staggered_torus_workload(benchmark, arbitration):
+    graph = torus(10, 10)
+    schedule = region_crash(graph, square_region((1, 1), 3), at=1.0, spread=6.0)
+
+    def run():
+        return run_cliff_edge(
+            graph,
+            schedule,
+            failure_detector=JitteredFailureDetector(0.5, 2.5),
+            arbitration_enabled=arbitration,
+            check=False,
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    if arbitration:
+        assert result.metrics.decisions > 0
+    else:
+        assert result.metrics.decisions == 0
+    attach_metrics(
+        benchmark,
+        result,
+        experiment="EXP-A1",
+        workload="staggered-torus",
+        arbitration=arbitration,
+    )

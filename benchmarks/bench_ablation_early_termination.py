@@ -1,0 +1,45 @@
+"""EXP-A3 benchmark: the footnote-6 early-termination optimisation.
+
+The paper notes (footnote 6) that an instance can terminate "once a node
+sees that all nodes in its border set know everything (i.e. no ⊥), i.e.
+after two rounds, in the best case".  This benchmark runs the same regional
+failure with Algorithm 1 as written and with the optimisation enabled, and
+records the message/byte savings alongside the timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_cliff_edge
+from repro.failures import region_crash
+from repro.graph.generators import square_region, torus
+
+from conftest import attach_metrics
+
+TORUS_SIDE = 16
+REGION_SIDE = 3
+
+_messages: dict[bool, int] = {}
+
+
+@pytest.mark.parametrize("early", [False, True], ids=["full-rounds", "early-termination"])
+def test_early_termination_savings(benchmark, early):
+    graph = torus(TORUS_SIDE, TORUS_SIDE)
+    schedule = region_crash(graph, square_region((1, 1), REGION_SIDE), at=1.0)
+
+    def run():
+        return run_cliff_edge(graph, schedule, early_termination=early, check=False)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    _messages[early] = result.metrics.messages_sent
+    assert result.metrics.decided_views == 1
+    assert result.metrics.decisions == 12  # border of the 3x3 block
+    if False in _messages and True in _messages:
+        assert _messages[True] < _messages[False]
+    attach_metrics(
+        benchmark,
+        result,
+        experiment="EXP-A3",
+        early_termination=early,
+    )

@@ -1,0 +1,56 @@
+"""EXP-A2 benchmark: ranking-relation variants.
+
+The canonical ranking (size, then border size, then lexicographic) is a
+strict total order; the ablation replaces it with deliberately weaker
+variants and shows the liveness cost: incomparable conflicting proposals
+that the arbitration cannot order, so nobody in the faulty cluster decides.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_cliff_edge
+from repro.failures import region_crash
+from repro.graph import RANKINGS
+from repro.graph.generators import square_region, torus
+from repro.sim import JitteredFailureDetector
+
+from conftest import attach_metrics
+
+
+def _two_equal_regions_schedule(graph):
+    region_a = square_region((1, 1), 2)
+    region_b = square_region((1, 4), 2)
+    return region_crash(graph, region_a, at=1.0).merged(
+        region_crash(graph, region_b, at=1.0)
+    )
+
+
+@pytest.mark.parametrize("ranking_name", sorted(RANKINGS))
+def test_ranking_variant_on_equal_sized_conflicts(benchmark, ranking_name):
+    graph = torus(10, 10)
+    schedule = _two_equal_regions_schedule(graph)
+    ranking = RANKINGS[ranking_name]
+
+    def run():
+        return run_cliff_edge(
+            graph,
+            schedule,
+            ranking=ranking,
+            failure_detector=JitteredFailureDetector(0.5, 2.0),
+            check=False,
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    if ranking_name == "canonical":
+        assert result.metrics.decisions > 0
+    else:
+        # Incomparable equal-sized proposals stall the cluster.
+        assert result.metrics.decisions == 0
+    attach_metrics(
+        benchmark,
+        result,
+        experiment="EXP-A2",
+        ranking=ranking_name,
+    )

@@ -1,0 +1,64 @@
+"""EXP-B1 benchmark: cliff-edge consensus vs. whole-network flooding consensus.
+
+The same 2x2 regional failure is handled (a) by the paper's protocol and
+(b) by a classical whole-network uniform consensus on the crash map.  The
+cliff-edge runs stay flat as the torus grows while the baseline's cost and
+latency climb with the system size — the quantitative version of the
+paper's introduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import run_global_baseline
+from repro.experiments import run_torus_region_scenario
+from repro.failures import region_crash
+from repro.graph.generators import square_region, torus
+
+from conftest import attach_metrics
+
+SIDES = (6, 8, 10, 12)
+REGION_SIDE = 2
+
+
+@pytest.mark.parametrize("side", SIDES)
+def test_cliff_edge_on_regional_failure(benchmark, side):
+    def run():
+        result, _ = run_torus_region_scenario(side, REGION_SIDE, seed=0, check=False)
+        return result
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.metrics.decisions > 0
+    attach_metrics(
+        benchmark,
+        result,
+        experiment="EXP-B1",
+        approach="cliff-edge",
+        system_size=side * side,
+    )
+
+
+@pytest.mark.parametrize("side", SIDES)
+def test_global_consensus_on_regional_failure(benchmark, side):
+    graph = torus(side, side)
+    members = square_region((1, 1), REGION_SIDE)
+    schedule = region_crash(graph, members, at=1.0)
+
+    def run():
+        return run_global_baseline(graph, schedule, seed=0)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.agreed
+    assert result.decided_map == frozenset(members)
+    benchmark.extra_info.update(
+        {
+            "experiment": "EXP-B1",
+            "approach": "global-consensus",
+            "system_size": side * side,
+            "messages": result.metrics.messages_sent,
+            "bytes": result.metrics.bytes_sent,
+            "speaking_nodes": result.metrics.speaking_nodes,
+            "decisions": result.metrics.decisions,
+        }
+    )

@@ -1,0 +1,84 @@
+"""EXP-B2/B3 benchmarks: cliff-edge vs. gossip convergence and vs.
+uncoordinated local repair.
+
+Gossip (partitionable-group-membership style) floods crash information
+across the whole network and converges only eventually, with no explicit
+decision; uncoordinated repair acts unilaterally and produces conflicting
+actions.  Both are timed on the same workloads as the protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import run_gossip_baseline, run_uncoordinated_baseline
+from repro.experiments import run_torus_region_scenario
+from repro.failures import region_crash
+from repro.graph.generators import square_region, torus
+
+from conftest import attach_metrics
+
+SIDES = (8, 12, 16)
+REGION_SIDE = 2
+
+
+@pytest.mark.parametrize("side", SIDES)
+def test_gossip_eventual_convergence(benchmark, side):
+    graph = torus(side, side)
+    members = square_region((1, 1), REGION_SIDE)
+    schedule = region_crash(graph, members, at=1.0)
+
+    def run():
+        return run_gossip_baseline(graph, schedule, seed=0)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.converged
+    assert result.informed_nodes == side * side - len(members)
+    benchmark.extra_info.update(
+        {
+            "experiment": "EXP-B2",
+            "approach": "gossip",
+            "system_size": side * side,
+            "messages": result.metrics.messages_sent,
+            "informed_nodes": result.informed_nodes,
+            "view_installs": result.total_installs,
+            "convergence_time": result.convergence_time,
+        }
+    )
+
+
+@pytest.mark.parametrize("side", SIDES)
+def test_cliff_edge_reference_for_gossip(benchmark, side):
+    def run():
+        result, _ = run_torus_region_scenario(side, REGION_SIDE, seed=0, check=False)
+        return result
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    attach_metrics(
+        benchmark,
+        result,
+        experiment="EXP-B2",
+        approach="cliff-edge",
+        system_size=side * side,
+    )
+
+
+def test_uncoordinated_repair_conflicts(benchmark):
+    graph = torus(10, 10)
+    members = square_region((1, 1), 3)
+    schedule = region_crash(graph, members, at=1.0, spread=4.0)
+
+    def run():
+        return run_uncoordinated_baseline(graph, schedule, grace_period=1.5, seed=0)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.conflicting_pairs > 0
+    benchmark.extra_info.update(
+        {
+            "experiment": "EXP-B3",
+            "approach": "uncoordinated",
+            "actors": len(result.actions),
+            "conflicting_pairs": result.conflicting_pairs,
+            "duplicated_repairs": result.duplicated_repairs,
+        }
+    )

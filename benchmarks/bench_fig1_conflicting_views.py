@@ -1,0 +1,58 @@
+"""FIG-1 benchmark: the world-city scenarios of the paper's Figure 1.
+
+Times the full protocol run for Fig. 1a (two independent crashed regions)
+and Fig. 1b (F1 grows into F3 mid-agreement) and records the agreement
+outcome in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    FIG1_F1,
+    FIG1_F2,
+    FIG1_F3,
+    fig1a_scenario,
+    fig1b_scenario,
+    run_fig1b,
+)
+from repro.graph import Region
+
+from conftest import attach_metrics
+
+
+def test_fig1a_two_independent_regions(benchmark):
+    scenario = fig1a_scenario()
+
+    def run():
+        return scenario.run(check=False)
+
+    result = benchmark(run)
+    assert result.decided_views == {Region(frozenset(FIG1_F1)), Region(frozenset(FIG1_F2))}
+    attach_metrics(benchmark, result, scenario="fig1a")
+
+
+def test_fig1b_growth_into_f3(benchmark):
+    scenario = fig1b_scenario()
+
+    def run():
+        return scenario.run(check=False)
+
+    result = benchmark(run)
+    assert result.decided_views == {Region(frozenset(FIG1_F3))}
+    assert result.deciding_nodes == {"london", "madrid", "roma", "berlin"}
+    attach_metrics(benchmark, result, scenario="fig1b")
+
+
+def test_fig1b_conflict_resolution_analysis(benchmark):
+    """Times the full Fig. 1b observation pipeline (run + trace analysis)."""
+    observations = benchmark(run_fig1b, check=True)
+    assert observations.conflict_arose
+    assert observations.converged_on_f3
+    benchmark.extra_info.update(
+        {
+            "madrid_proposals": len(observations.madrid_proposals),
+            "berlin_proposals": len(observations.berlin_proposals),
+            "rejections": observations.rejections,
+            "specification_holds": observations.result.specification.holds,
+        }
+    )

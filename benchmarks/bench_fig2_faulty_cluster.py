@@ -1,0 +1,38 @@
+"""FIG-2 benchmark: a faulty cluster of four adjacent faulty domains.
+
+Measures the cost of untangling simultaneous agreements whose borders
+overlap, and records which domains end up decided (the emergent behaviour
+the figure is used to explain: CD7 guarantees a decision per *cluster*,
+not per domain).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig2_scenario, run_fig2
+
+from conftest import attach_metrics
+
+
+def test_fig2_cluster_agreement(benchmark):
+    scenario = fig2_scenario()
+
+    def run():
+        return scenario.run(check=False)
+
+    result = benchmark(run)
+    assert result.metrics.decisions > 0
+    attach_metrics(benchmark, result, scenario="fig2")
+
+
+def test_fig2_domain_outcomes(benchmark):
+    observations = benchmark(run_fig2, check=True)
+    assert observations.cluster_has_decision
+    assert observations.result.specification.holds
+    benchmark.extra_info.update(
+        {
+            "decided_domains": {
+                name: decided for name, decided in observations.decided_domains.items()
+            },
+            "highest_ranked_decided": observations.decided_domains["F3"],
+        }
+    )

@@ -1,0 +1,37 @@
+"""FIG-3 benchmark: view convergence on overlapping regions (CD6).
+
+A region is agreed upon, then grows over part of its own border.  The
+benchmark times the whole two-wave scenario and asserts that no conflicting
+decision is ever taken on the overlapping grown region.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig3_scenario, run_fig3
+
+from conftest import attach_metrics
+
+
+def test_fig3_two_wave_scenario(benchmark):
+    scenario = fig3_scenario()
+
+    def run():
+        return scenario.run(check=False)
+
+    result = benchmark(run)
+    assert len(result.decided_views) == 1
+    attach_metrics(benchmark, result, scenario="fig3")
+
+
+def test_fig3_convergence_analysis(benchmark):
+    observations = benchmark(run_fig3, check=True)
+    assert observations.first_wave_view is not None
+    assert observations.grown_region_proposed
+    assert observations.no_conflicting_decision
+    assert observations.result.specification.holds
+    benchmark.extra_info.update(
+        {
+            "post_growth_decisions": len(observations.post_growth_views),
+            "grown_region_proposed": observations.grown_region_proposed,
+        }
+    )

@@ -1,0 +1,47 @@
+"""EXP-L2 benchmark: cost vs. crashed-region size in a fixed torus.
+
+The complementary claim to EXP-L1: the protocol's cost *does* track the
+crashed region (participants are its border; the flooding rounds grow with
+the border size), which is exactly the dependence the paper accepts in
+exchange for independence from the system size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_torus_region_scenario
+
+from conftest import attach_metrics
+
+TORUS_SIDE = 24
+REGION_SIDES = (1, 2, 3, 4, 5)
+
+_messages_by_region: dict[int, int] = {}
+
+
+@pytest.mark.parametrize("region_side", REGION_SIDES)
+def test_cost_tracks_region_size(benchmark, region_side):
+    def run():
+        result, region = run_torus_region_scenario(
+            TORUS_SIDE, region_side, seed=0, check=False
+        )
+        return result, region
+
+    result, region = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    border_size = len(result.graph.border(region.members))
+    _messages_by_region[region_side] = result.metrics.messages_sent
+    # Monotone growth with the region (and border) size.
+    smaller = [s for s in _messages_by_region if s < region_side]
+    for s in smaller:
+        assert _messages_by_region[s] < _messages_by_region[region_side]
+    assert border_size == 4 * region_side
+    attach_metrics(
+        benchmark,
+        result,
+        experiment="EXP-L2",
+        torus_side=TORUS_SIDE,
+        region_side=region_side,
+        region_size=region_side * region_side,
+        border_size=border_size,
+    )

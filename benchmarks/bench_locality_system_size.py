@@ -1,0 +1,50 @@
+"""EXP-L1 benchmark: cost vs. system size with a fixed crashed region.
+
+The headline claim of the paper ("local complexity": cost independent of
+the size of the complete system).  A fixed 3x3 block crashes in tori of
+growing size; both the message counts (extra_info) and the wall-clock time
+per agreement should stay essentially flat as the torus grows from 64 to
+4096 nodes — the residual growth in wall-clock time is simulator set-up
+(building and populating the bigger graph), not protocol work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_torus_region_scenario
+
+from conftest import attach_metrics
+
+SIDES = (8, 16, 32, 64)
+REGION_SIDE = 3
+
+#: Message cost measured at the smallest system size, filled lazily and
+#: compared against at every larger size (the flatness assertion).
+_reference_messages: dict[int, int] = {}
+
+
+@pytest.mark.parametrize("side", SIDES)
+def test_locality_fixed_region_growing_system(benchmark, side):
+    def run():
+        result, region = run_torus_region_scenario(
+            side, REGION_SIDE, seed=0, check=False
+        )
+        return result, region
+
+    result, region = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    messages = result.metrics.messages_sent
+    _reference_messages.setdefault(REGION_SIDE, messages)
+    # The protocol's cost must not depend on the system size: identical
+    # crashed region + identical seed => identical message count.
+    assert messages == _reference_messages[REGION_SIDE]
+    assert result.metrics.speaking_nodes == len(result.graph.border(region.members))
+    attach_metrics(
+        benchmark,
+        result,
+        experiment="EXP-L1",
+        torus_side=side,
+        system_size=side * side,
+        region_side=REGION_SIDE,
+        border_size=len(result.graph.border(region.members)),
+    )

@@ -1,0 +1,46 @@
+"""EXP-R1 benchmark: end-to-end overlay repair.
+
+Times the whole pipeline of the motivating application — regional crash on
+a Chord-like ring, cliff-edge agreement on a repair plan, plan application
+and structural verification — across ring and failure sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_overlay_repair
+
+from conftest import attach_metrics
+
+CASES = [
+    (16, 2),
+    (32, 4),
+    (64, 6),
+]
+
+
+@pytest.mark.parametrize("ring_size,arc_length", CASES)
+def test_overlay_repair_end_to_end(benchmark, ring_size, arc_length):
+    def run():
+        return run_overlay_repair(
+            ring_size=ring_size,
+            successors=2,
+            arc_start=3,
+            arc_length=arc_length,
+            seed=0,
+            check=False,
+        )
+
+    run_result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert run_result.outcome.ring_restored
+    assert run_result.outcome.survivors_connected
+    assert len(run_result.outcome.plans) == 1
+    attach_metrics(
+        benchmark,
+        run_result.result,
+        experiment="EXP-R1",
+        ring_size=ring_size,
+        arc_length=arc_length,
+        bridges=len(run_result.outcome.installed_edges),
+    )

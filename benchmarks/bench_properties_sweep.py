@@ -1,0 +1,48 @@
+"""EXP-C1 benchmark: CD1–CD7 checked under adversarial crash schedules.
+
+Times complete randomised cases (topology generation, protocol run and the
+full specification check) and asserts that every case satisfies the
+specification — the empirical counterpart of the paper's Theorems 1–4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import property_sweep, run_sweep_case, sweep_summary
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_adversarial_case_satisfies_specification(benchmark, seed):
+    case = benchmark.pedantic(run_sweep_case, args=(seed,), rounds=3, iterations=1)
+    assert case.specification_holds, case.violations
+    assert case.quiescent
+    benchmark.extra_info.update(
+        {
+            "experiment": "EXP-C1",
+            "seed": seed,
+            "topology": case.topology,
+            "nodes": case.nodes,
+            "crashed": case.crashed,
+            "faulty_domains": case.faulty_domains,
+            "decisions": case.decisions,
+            "messages": case.messages,
+        }
+    )
+
+
+def test_sweep_batch(benchmark):
+    """One timed batch of 10 randomised cases (the EXP-C1 table row)."""
+
+    def run():
+        return property_sweep(seeds=tuple(range(10)))
+
+    cases = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = sweep_summary(cases)
+    assert summary["all_hold"]
+    assert summary["all_quiescent"]
+    benchmark.extra_info.update({"experiment": "EXP-C1", **{
+        key: value for key, value in summary.items() if key != "violating_seeds"
+    }})

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one row (or series) of the experiment index in
+DESIGN.md.  Besides timing the run, each benchmark attaches the
+paper-relevant quantities (messages, bytes, speaking nodes, decisions, ...)
+to ``benchmark.extra_info`` so that ``pytest benchmarks/ --benchmark-only``
+output doubles as the data source for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def attach_metrics(benchmark, result, **extra) -> None:
+    """Attach a RunResult's headline metrics to a benchmark."""
+    metrics = result.metrics
+    benchmark.extra_info.update(
+        {
+            "messages": metrics.messages_sent,
+            "bytes": metrics.bytes_sent,
+            "speaking_nodes": metrics.speaking_nodes,
+            "decisions": metrics.decisions,
+            "decided_views": metrics.decided_views,
+            "rejections": metrics.rejections,
+            "failed_instances": metrics.failed_instances,
+            "nodes": len(result.graph),
+            "crashed": len(result.schedule.nodes),
+        }
+    )
+    benchmark.extra_info.update(extra)

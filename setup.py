@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so the
+package can also be installed in environments without network access to
+build backends (legacy ``pip install -e .`` code path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,98 @@
+"""repro — a reproduction of *Cliff-Edge Consensus: Agreeing on the Precipice*.
+
+The package implements the paper's convergent detection of crashed regions
+(cliff-edge consensus) together with everything needed to run and evaluate
+it: a knowledge-graph substrate, a deterministic discrete-event simulator
+with a perfect failure detector, an asyncio runtime, baselines, an
+overlay-repair application, and an experiment harness.
+
+Quick start
+-----------
+>>> from repro import generators, region_crash, run_cliff_edge
+>>> graph = generators.grid(6, 6)
+>>> crashed = [(2, 2), (2, 3), (3, 2), (3, 3)]
+>>> result = run_cliff_edge(graph, region_crash(graph, crashed), check=True)
+>>> result.specification.holds
+True
+>>> len(result.decided_views)
+1
+"""
+
+from .core import (
+    CliffEdgeNode,
+    CoordinatorElectionPolicy,
+    DecisionPolicy,
+    ProposedRepair,
+    RoundMessage,
+    assert_specification,
+    check_all,
+)
+from .experiments.runner import RunResult, build_simulator, run_cliff_edge
+from .failures import (
+    CrashSchedule,
+    cascade_crash,
+    growing_region_crash,
+    multi_region_crash,
+    random_crashes,
+    region_crash,
+)
+from .graph import (
+    KnowledgeGraph,
+    NodeId,
+    Region,
+    faulty_clusters,
+    faulty_domains,
+    generators,
+)
+from .sim import (
+    ConstantLatency,
+    JitteredFailureDetector,
+    PerfectFailureDetector,
+    ScriptedFailureDetector,
+    Simulator,
+    UniformLatency,
+)
+from .trace import RunMetrics, TraceRecorder, collect_metrics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Core protocol
+    "CliffEdgeNode",
+    "RoundMessage",
+    "DecisionPolicy",
+    "CoordinatorElectionPolicy",
+    "ProposedRepair",
+    "check_all",
+    "assert_specification",
+    # Graph substrate
+    "KnowledgeGraph",
+    "NodeId",
+    "Region",
+    "faulty_domains",
+    "faulty_clusters",
+    "generators",
+    # Failure injection
+    "CrashSchedule",
+    "region_crash",
+    "growing_region_crash",
+    "multi_region_crash",
+    "random_crashes",
+    "cascade_crash",
+    # Simulation substrate
+    "Simulator",
+    "ConstantLatency",
+    "UniformLatency",
+    "PerfectFailureDetector",
+    "JitteredFailureDetector",
+    "ScriptedFailureDetector",
+    # Traces and metrics
+    "TraceRecorder",
+    "RunMetrics",
+    "collect_metrics",
+    # Harness
+    "run_cliff_edge",
+    "build_simulator",
+    "RunResult",
+]

@@ -1,0 +1,26 @@
+"""Baselines the paper motivates verbally: global consensus, gossip,
+uncoordinated repair."""
+
+from .global_consensus import (
+    GlobalBaselineResult,
+    GlobalCrashMapNode,
+    run_global_baseline,
+)
+from .gossip import GossipBaselineResult, GossipViewNode, run_gossip_baseline
+from .uncoordinated import (
+    UncoordinatedBaselineResult,
+    UncoordinatedRepairNode,
+    run_uncoordinated_baseline,
+)
+
+__all__ = [
+    "GlobalCrashMapNode",
+    "GlobalBaselineResult",
+    "run_global_baseline",
+    "GossipViewNode",
+    "GossipBaselineResult",
+    "run_gossip_baseline",
+    "UncoordinatedRepairNode",
+    "UncoordinatedBaselineResult",
+    "run_uncoordinated_baseline",
+]

@@ -1,0 +1,177 @@
+"""Whole-network consensus baseline (what CD3 Locality rules out).
+
+The paper's introduction argues that classical consensus cannot be used for
+crashed-region detection in very large systems because it "would involve
+the entire network in a protocol run".  This module implements exactly that
+strawman so the locality experiments can quantify the difference:
+
+* every node of the system participates in a single flooding uniform
+  consensus (the :class:`~repro.core.flooding.FloodingConsensusNode`
+  substrate);
+* each participant proposes the set of crashes it observed locally;
+* the decision is the union of all reported crash sets — a globally agreed
+  map of crashed nodes.
+
+The cost is what the paper predicts: every node monitors and talks to every
+other node, so messages grow with the *system* size even when the crashed
+region stays tiny.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from ..core.flooding import FloodingConsensusNode, merge_sets
+from ..failures import CrashSchedule
+from ..graph import KnowledgeGraph, NodeId
+from ..sim import ConstantLatency, LatencyModel, PerfectFailureDetector, Simulator
+from ..sim.events import EventKind
+from ..sim.process import Process, ProcessContext
+from ..trace import RunMetrics, TraceRecorder, collect_metrics
+
+
+class GlobalCrashMapNode(Process):
+    """One participant of the whole-network crash-map consensus.
+
+    The node monitors its graph neighbours (like the protocol does).  When
+    it first observes a crash it waits ``collection_delay`` time units so
+    that the failure can be observed by other nodes too, then joins the
+    global flooding consensus proposing its locally observed crash set.
+
+    Nodes that never observe a crash still participate (they are woken up
+    by the first consensus message they receive) — that is precisely the
+    non-locality this baseline demonstrates.
+    """
+
+    _START_TIMER = "start-global-consensus"
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        participants: frozenset[NodeId],
+        collection_delay: float = 5.0,
+    ) -> None:
+        self.node_id = node_id
+        self.participants = frozenset(participants)
+        self.collection_delay = collection_delay
+        self.observed_crashes: set[NodeId] = set()
+        self._timer_set = False
+        self._inner: Optional[FloodingConsensusNode] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def decided(self) -> Optional[Any]:
+        return self._inner.decided if self._inner is not None else None
+
+    @property
+    def has_decided(self) -> bool:
+        return self.decided is not None
+
+    # ------------------------------------------------------------------
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.monitor_crash(ctx.graph.neighbours(self.node_id))
+
+    def on_crash(self, ctx: ProcessContext, crashed: NodeId) -> None:
+        self.observed_crashes.add(crashed)
+        if self._inner is not None:
+            self._inner.on_crash(ctx, crashed)
+        elif not self._timer_set:
+            self._timer_set = True
+            ctx.set_timer(self.collection_delay, self._START_TIMER)
+
+    def on_timer(self, ctx: ProcessContext, tag: Any) -> None:
+        if tag == self._START_TIMER and self._inner is None:
+            self._begin(ctx)
+
+    def on_message(self, ctx: ProcessContext, sender: NodeId, message: Any) -> None:
+        if self._inner is None:
+            # Woken up by the global consensus of somebody else: join it.
+            self._begin(ctx)
+        self._inner.on_message(ctx, sender, message)
+
+    # ------------------------------------------------------------------
+    def _begin(self, ctx: ProcessContext) -> None:
+        live_participants = self.participants
+        self._inner = FloodingConsensusNode(
+            self.node_id,
+            live_participants,
+            initial_value=frozenset(self.observed_crashes),
+            pick=merge_sets,
+            auto_start=False,
+        )
+        # The inner consensus monitors every participant in the system —
+        # the quadratic monitoring cost is part of what the baseline shows.
+        self._inner.on_start(ctx)
+        # Replay crashes we already know about so the inner instance does
+        # not wait forever for nodes we know to be dead.
+        for crashed in sorted(self.observed_crashes, key=repr):
+            self._inner.on_crash(ctx, crashed)
+        self._inner.begin(ctx)
+
+
+@dataclass
+class GlobalBaselineResult:
+    """Outcome of one run of the global-consensus baseline."""
+
+    graph: KnowledgeGraph
+    schedule: CrashSchedule
+    simulator: Simulator
+    trace: TraceRecorder
+    metrics: RunMetrics
+    decisions: dict[NodeId, frozenset[NodeId]]
+
+    @property
+    def agreed(self) -> bool:
+        """True when every deciding node decided the same crash map."""
+        return len(set(self.decisions.values())) <= 1
+
+    @property
+    def decided_map(self) -> Optional[frozenset[NodeId]]:
+        """The agreed crash map (None if nobody decided)."""
+        if not self.decisions:
+            return None
+        return next(iter(self.decisions.values()))
+
+
+def run_global_baseline(
+    graph: KnowledgeGraph,
+    schedule: CrashSchedule,
+    collection_delay: float = 5.0,
+    latency: Optional[LatencyModel] = None,
+    detection_delay: float = 1.0,
+    seed: int = 0,
+    max_events: int = 20_000_000,
+) -> GlobalBaselineResult:
+    """Run the whole-network baseline on a scenario.
+
+    Mirrors :func:`repro.experiments.runner.run_cliff_edge` so the two can
+    be compared row by row in EXP-B1.
+    """
+    schedule.validate(graph)
+    sim = Simulator(
+        graph,
+        latency=latency if latency is not None else ConstantLatency(1.0),
+        failure_detector=PerfectFailureDetector(detection_delay),
+        seed=seed,
+    )
+    participants = frozenset(graph.nodes)
+    sim.populate(
+        lambda node_id: GlobalCrashMapNode(
+            node_id, participants, collection_delay=collection_delay
+        )
+    )
+    schedule.applied_to(sim)
+    sim.run(max_events=max_events)
+
+    decisions: dict[NodeId, frozenset[NodeId]] = {}
+    for event in sim.trace.of_kind(EventKind.DECIDED):
+        decisions[event.node] = event.detail.get("decision")
+    return GlobalBaselineResult(
+        graph=graph,
+        schedule=schedule,
+        simulator=sim,
+        trace=sim.trace,
+        metrics=collect_metrics(sim.trace),
+        decisions=decisions,
+    )

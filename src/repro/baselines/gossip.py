@@ -1,0 +1,142 @@
+"""Gossip / eventual-convergence baseline (PGM-flavoured).
+
+Partitionable group membership services (§4, related work) converge
+*eventually*: nodes keep installing new views as information spreads, with
+no explicit "we are done" decision.  This baseline mimics that style for
+crashed-region detection:
+
+* every node maintains a local view = the set of crashes it has heard of;
+* whenever its view changes (own failure detector or a peer's gossip), the
+  node installs the new view and forwards it to all its live neighbours.
+
+The run converges — all correct nodes connected to the evidence eventually
+share the same view — but the comparison with cliff-edge consensus shows
+what the paper's explicit-decision semantics buy:
+
+* nodes install many intermediate views (no CD1-style integrity);
+* nodes never *know* they have converged (no decide event);
+* the information spreads across the whole connected component, not just
+  the border (no CD3 locality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.messages import ApplicationMessage
+from ..failures import CrashSchedule
+from ..graph import KnowledgeGraph, NodeId
+from ..sim import ConstantLatency, LatencyModel, PerfectFailureDetector, Simulator
+from ..sim.events import EventKind
+from ..sim.process import Process, ProcessContext
+from ..trace import RunMetrics, TraceRecorder, collect_metrics
+
+_GOSSIP_TOPIC = "crash-gossip"
+
+
+class GossipViewNode(Process):
+    """One node of the gossip baseline."""
+
+    def __init__(self, node_id: NodeId) -> None:
+        self.node_id = node_id
+        #: Current installed view: the set of nodes believed crashed.
+        self.view: frozenset[NodeId] = frozenset()
+        #: Number of times the view changed (view "installations").
+        self.installs = 0
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.monitor_crash(ctx.graph.neighbours(self.node_id))
+
+    def on_crash(self, ctx: ProcessContext, crashed: NodeId) -> None:
+        self._merge(ctx, frozenset({crashed}))
+
+    def on_message(self, ctx: ProcessContext, sender: NodeId, message) -> None:
+        if isinstance(message, ApplicationMessage) and message.topic == _GOSSIP_TOPIC:
+            self._merge(ctx, message.body)
+
+    def _merge(self, ctx: ProcessContext, crashes: frozenset[NodeId]) -> None:
+        merged = self.view | crashes
+        if merged == self.view:
+            return
+        self.view = merged
+        self.installs += 1
+        ctx.record(EventKind.CUSTOM, payload=self.view, action="view_installed")
+        neighbours = ctx.graph.neighbours(self.node_id) - self.view
+        if neighbours:
+            ctx.multicast(
+                sorted(neighbours, key=repr),
+                ApplicationMessage(_GOSSIP_TOPIC, self.view),
+            )
+
+
+@dataclass
+class GossipBaselineResult:
+    """Outcome of one run of the gossip baseline."""
+
+    graph: KnowledgeGraph
+    schedule: CrashSchedule
+    simulator: Simulator
+    trace: TraceRecorder
+    metrics: RunMetrics
+    #: Final view held by each correct node.
+    final_views: dict[NodeId, frozenset[NodeId]]
+    #: Total number of view installations across all nodes.
+    total_installs: int
+    #: Time at which the last view installation happened.
+    convergence_time: Optional[float]
+
+    @property
+    def converged(self) -> bool:
+        """True when every correct node that learned anything agrees."""
+        non_empty = {view for view in self.final_views.values() if view}
+        return len(non_empty) <= 1
+
+    @property
+    def informed_nodes(self) -> int:
+        """Number of correct nodes holding a non-empty view at the end."""
+        return sum(1 for view in self.final_views.values() if view)
+
+
+def run_gossip_baseline(
+    graph: KnowledgeGraph,
+    schedule: CrashSchedule,
+    latency: Optional[LatencyModel] = None,
+    detection_delay: float = 1.0,
+    seed: int = 0,
+    max_events: int = 20_000_000,
+) -> GossipBaselineResult:
+    """Run the gossip baseline on a scenario (mirrors ``run_cliff_edge``)."""
+    schedule.validate(graph)
+    sim = Simulator(
+        graph,
+        latency=latency if latency is not None else ConstantLatency(1.0),
+        failure_detector=PerfectFailureDetector(detection_delay),
+        seed=seed,
+    )
+    sim.populate(GossipViewNode)
+    schedule.applied_to(sim)
+    sim.run(max_events=max_events)
+
+    final_views: dict[NodeId, frozenset[NodeId]] = {}
+    for node in graph.nodes:
+        if sim.is_crashed(node):
+            continue
+        process = sim.process(node)
+        assert isinstance(process, GossipViewNode)
+        final_views[node] = process.view
+    installs = [
+        event
+        for event in sim.trace.of_kind(EventKind.CUSTOM)
+        if event.detail.get("action") == "view_installed"
+    ]
+    return GossipBaselineResult(
+        graph=graph,
+        schedule=schedule,
+        simulator=sim,
+        trace=sim.trace,
+        metrics=collect_metrics(sim.trace),
+        final_views=final_views,
+        total_installs=len(installs),
+        convergence_time=max((event.time for event in installs), default=None),
+    )

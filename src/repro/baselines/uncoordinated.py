@@ -1,0 +1,143 @@
+"""Uncoordinated local repair baseline.
+
+The simplest possible reaction to a crashed region: every border node
+waits a grace period after it first smells trouble and then unilaterally
+"repairs" whatever it believes has crashed, with no coordination at all.
+
+This is the strawman the paper's convergent-detection properties are
+designed to rule out: border nodes of the *same* faulty domain routinely
+act on different, stale views (violating CD5/CD6 analogues), and several
+nodes duplicate the recovery work (no single agreed plan).  The EXP-B2/A1
+experiments count exactly those anomalies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..failures import CrashSchedule
+from ..graph import KnowledgeGraph, NodeId, Region
+from ..sim import ConstantLatency, LatencyModel, PerfectFailureDetector, Simulator
+from ..sim.events import EventKind
+from ..sim.process import Process, ProcessContext
+from ..trace import RunMetrics, TraceRecorder, collect_metrics
+
+
+class UncoordinatedRepairNode(Process):
+    """Waits ``grace_period`` after the first observed crash, then acts."""
+
+    _ACT_TIMER = "act"
+
+    def __init__(self, node_id: NodeId, grace_period: float = 3.0) -> None:
+        self.node_id = node_id
+        self.grace_period = grace_period
+        self.observed: set[NodeId] = set()
+        self.acted_on: Optional[Region] = None
+        self._timer_set = False
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        ctx.monitor_crash(ctx.graph.neighbours(self.node_id))
+
+    def on_crash(self, ctx: ProcessContext, crashed: NodeId) -> None:
+        self.observed.add(crashed)
+        ctx.monitor_crash(ctx.graph.neighbours(crashed) - self.observed - {self.node_id})
+        if not self._timer_set:
+            self._timer_set = True
+            ctx.set_timer(self.grace_period, self._ACT_TIMER)
+
+    def on_timer(self, ctx: ProcessContext, tag) -> None:
+        if tag != self._ACT_TIMER or self.acted_on is not None:
+            return
+        components = ctx.graph.connected_components(self.observed)
+        # Act on the component adjacent to this node (there is always one,
+        # because the first observation was a direct neighbour).
+        adjacent = [
+            component
+            for component in components
+            if ctx.graph.border(component) & {self.node_id}
+        ]
+        if not adjacent:
+            return
+        view = Region(max(adjacent, key=lambda c: (len(c), sorted(map(repr, c)))))
+        self.acted_on = view
+        ctx.record(EventKind.DECIDED, payload=view, decision=f"repair-by-{self.node_id!r}")
+
+    def on_message(self, ctx: ProcessContext, sender: NodeId, message) -> None:
+        return None
+
+
+@dataclass
+class UncoordinatedBaselineResult:
+    """Outcome of one run of the uncoordinated baseline."""
+
+    graph: KnowledgeGraph
+    schedule: CrashSchedule
+    simulator: Simulator
+    trace: TraceRecorder
+    metrics: RunMetrics
+    #: view acted upon, per acting node.
+    actions: dict[NodeId, Region]
+
+    @property
+    def conflicting_pairs(self) -> int:
+        """Pairs of acting nodes whose views overlap but differ.
+
+        Each such pair is a coordination failure the cliff-edge protocol's
+        CD6 (View Convergence) would have prevented.
+        """
+        nodes = sorted(self.actions, key=repr)
+        count = 0
+        for index, first in enumerate(nodes):
+            for second in nodes[index + 1 :]:
+                view_a, view_b = self.actions[first], self.actions[second]
+                if view_a.overlaps(view_b) and view_a != view_b:
+                    count += 1
+        return count
+
+    @property
+    def duplicated_repairs(self) -> int:
+        """Number of extra actors per identical view (duplicate work)."""
+        by_view: dict[Region, int] = {}
+        for view in self.actions.values():
+            by_view[view] = by_view.get(view, 0) + 1
+        return sum(count - 1 for count in by_view.values() if count > 1)
+
+
+def run_uncoordinated_baseline(
+    graph: KnowledgeGraph,
+    schedule: CrashSchedule,
+    grace_period: float = 3.0,
+    latency: Optional[LatencyModel] = None,
+    detection_delay: float = 1.0,
+    seed: int = 0,
+    max_events: int = 5_000_000,
+) -> UncoordinatedBaselineResult:
+    """Run the uncoordinated-repair baseline on a scenario."""
+    schedule.validate(graph)
+    sim = Simulator(
+        graph,
+        latency=latency if latency is not None else ConstantLatency(1.0),
+        failure_detector=PerfectFailureDetector(detection_delay),
+        seed=seed,
+    )
+    sim.populate(lambda node_id: UncoordinatedRepairNode(node_id, grace_period))
+    schedule.applied_to(sim)
+    sim.run(max_events=max_events)
+
+    actions: dict[NodeId, Region] = {}
+    for node in graph.nodes:
+        if sim.is_crashed(node):
+            continue
+        process = sim.process(node)
+        assert isinstance(process, UncoordinatedRepairNode)
+        if process.acted_on is not None:
+            actions[node] = process.acted_on
+    return UncoordinatedBaselineResult(
+        graph=graph,
+        schedule=schedule,
+        simulator=sim,
+        trace=sim.trace,
+        metrics=collect_metrics(sim.trace),
+        actions=actions,
+    )

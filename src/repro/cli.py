@@ -1,0 +1,174 @@
+"""Command-line interface.
+
+``python -m repro <command>`` (or the ``repro`` console script) exposes the
+most useful entry points of the library without writing any Python:
+
+* ``quickstart`` — crash a block in a grid and print the agreement;
+* ``figure {1a,1b,2,3}`` — run a paper-figure scenario and print what it
+  demonstrates;
+* ``locality`` — the EXP-L1/EXP-L2 sweeps as plain-text tables;
+* ``repair`` — the end-to-end overlay repair demo;
+* ``sweep`` — the EXP-C1 adversarial property sweep;
+* ``report`` — every experiment table (the EXPERIMENTS.md source).
+
+Every command prints deterministic output for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from typing import Callable
+
+from .experiments import (
+    fig1a_scenario,
+    format_table,
+    locality_is_flat,
+    property_sweep,
+    region_size_sweep,
+    render_report,
+    run_fig1b,
+    run_fig2,
+    run_fig3,
+    run_overlay_repair,
+    sweep_summary,
+    system_size_sweep,
+)
+from .experiments.report import build_report
+from .failures import region_crash
+from .graph.generators import grid, square_region
+from .experiments.runner import run_cliff_edge
+
+
+def _cmd_quickstart(args: argparse.Namespace, write: Callable[[str], object]) -> int:
+    graph = grid(args.side, args.side)
+    block = sorted(square_region((1, 1), args.block))
+    schedule = region_crash(graph, block, at=1.0)
+    result = run_cliff_edge(graph, schedule, seed=args.seed, check=True)
+    write(f"crashed block: {block}")
+    write(result.summary())
+    write(result.specification.summary())
+    return 0 if result.specification.holds else 1
+
+
+def _cmd_figure(args: argparse.Namespace, write: Callable[[str], object]) -> int:
+    if args.which == "1a":
+        result = fig1a_scenario().run(seed=args.seed)
+        write(result.summary())
+        write(result.specification.summary())
+        return 0 if result.specification.holds else 1
+    if args.which == "1b":
+        observations = run_fig1b(seed=args.seed)
+        write(f"conflict arose: {observations.conflict_arose}")
+        write(f"converged on F3: {observations.converged_on_f3}")
+        write(f"rejections: {observations.rejections}")
+        write(observations.result.specification.summary())
+        return 0 if observations.result.specification.holds else 1
+    if args.which == "2":
+        observations = run_fig2(seed=args.seed)
+        rows = [
+            {"domain": name, "decided": decided, "deciders": ", ".join(map(str, observations.deciders[name]))}
+            for name, decided in sorted(observations.decided_domains.items())
+        ]
+        write(format_table(rows, title="Fig. 2 — faulty cluster"))
+        write(f"cluster has a decision (CD7): {observations.cluster_has_decision}")
+        return 0 if observations.result.specification.holds else 1
+    observations = run_fig3(seed=args.seed)
+    write(f"first wave decided: {observations.first_wave_view is not None}")
+    write(f"grown region proposed: {observations.grown_region_proposed}")
+    write(f"no conflicting decision (CD6): {observations.no_conflicting_decision}")
+    return 0 if observations.result.specification.holds else 1
+
+
+def _cmd_locality(args: argparse.Namespace, write: Callable[[str], object]) -> int:
+    sides = (8, 12, 16, 24, 32) if not args.full else (8, 12, 16, 24, 32, 48, 64)
+    points = system_size_sweep(sides=sides, seed=args.seed)
+    write(format_table([p.as_row() for p in points], title="EXP-L1: cost vs system size"))
+    write(f"flat across system sizes: {locality_is_flat(points)}")
+    region_points = region_size_sweep(region_sides=(1, 2, 3, 4), seed=args.seed)
+    write("")
+    write(
+        format_table(
+            [p.as_row() for p in region_points], title="EXP-L2: cost vs region size"
+        )
+    )
+    return 0
+
+
+def _cmd_repair(args: argparse.Namespace, write: Callable[[str], object]) -> int:
+    run = run_overlay_repair(
+        ring_size=args.ring_size,
+        successors=2,
+        arc_start=args.arc_start,
+        arc_length=args.arc_length,
+        seed=args.seed,
+    )
+    write(f"crashed arc: {list(run.arc)}")
+    write(run.outcome.summary())
+    write(f"specification holds: {run.result.specification.holds}")
+    return 0 if run.outcome.ring_restored and run.result.specification.holds else 1
+
+
+def _cmd_sweep(args: argparse.Namespace, write: Callable[[str], object]) -> int:
+    cases = property_sweep(seeds=tuple(range(args.cases)))
+    write(format_table([case.as_row() for case in cases], title="EXP-C1 sweep"))
+    summary = sweep_summary(cases)
+    write(f"all hold: {summary['all_hold']}  violations: {summary['violating_seeds']}")
+    return 0 if summary["all_hold"] else 1
+
+
+def _cmd_report(args: argparse.Namespace, write: Callable[[str], object]) -> int:
+    sections = build_report(quick=args.quick)
+    write(render_report(sections, markdown=args.markdown))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cliff-edge consensus (Taïani et al., PaCT 2013) — reproduction CLI",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="deterministic seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quickstart = sub.add_parser("quickstart", help="crash a block in a grid and agree on it")
+    quickstart.add_argument("--side", type=int, default=6, help="grid side length")
+    quickstart.add_argument("--block", type=int, default=2, help="crashed block side length")
+    quickstart.set_defaults(func=_cmd_quickstart)
+
+    figure = sub.add_parser("figure", help="run one of the paper's figure scenarios")
+    figure.add_argument("which", choices=["1a", "1b", "2", "3"])
+    figure.set_defaults(func=_cmd_figure)
+
+    locality = sub.add_parser("locality", help="EXP-L1/EXP-L2 locality sweeps")
+    locality.add_argument("--full", action="store_true", help="sweep up to 4096 nodes")
+    locality.set_defaults(func=_cmd_locality)
+
+    repair = sub.add_parser("repair", help="end-to-end overlay repair demo")
+    repair.add_argument("--ring-size", type=int, default=32)
+    repair.add_argument("--arc-start", type=int, default=5)
+    repair.add_argument("--arc-length", type=int, default=4)
+    repair.set_defaults(func=_cmd_repair)
+
+    sweep = sub.add_parser("sweep", help="EXP-C1 adversarial property sweep")
+    sweep.add_argument("--cases", type=int, default=10)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    report = sub.add_parser("report", help="regenerate every experiment table")
+    report.add_argument("--quick", action="store_true")
+    report.add_argument("--markdown", action="store_true")
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None, write: Callable[[str], object] = print) -> int:
+    """Entry point used by ``python -m repro`` and the ``repro`` script."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else sys.argv[1:])
+    return args.func(args, write)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

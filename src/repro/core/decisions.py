@@ -1,0 +1,98 @@
+"""Decision values: ``selectValueForView`` and ``deterministicPick``.
+
+Algorithm 1 leaves two application hooks open:
+
+* ``selectValueForView(V)`` (line 14) — the value a node proposes for a
+  view it is trying to agree on (e.g. a repair plan);
+* ``deterministicPick({v_pi})`` (line 35) — how the final decision value is
+  chosen among the accepted proposals.  It must be a deterministic function
+  of the full opinion vector so every decider picks the same value (used in
+  the proof of CD5).
+
+A :class:`DecisionPolicy` bundles the two.  The default policy proposes a
+small descriptive record and picks the proposal of the smallest border node
+(by ``repr``), which is deterministic and independent of arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Protocol
+
+from ..graph import KnowledgeGraph, NodeId, Region
+
+
+class DecisionPolicy(Protocol):
+    """Application hook deciding what gets proposed and what gets picked."""
+
+    def select_value(self, graph: KnowledgeGraph, view: Region, node: NodeId) -> Any:
+        """The paper's ``selectValueForView`` executed at ``node``."""
+        ...
+
+    def pick(self, graph: KnowledgeGraph, view: Region, values: Mapping[NodeId, Any]) -> Any:
+        """The paper's ``deterministicPick`` over accepted values."""
+        ...
+
+
+@dataclass(frozen=True)
+class ProposedRepair:
+    """The default proposal: ``coordinator`` volunteers to lead recovery of
+    ``view`` on behalf of its border."""
+
+    coordinator: NodeId
+    view: Region
+
+    def describe(self) -> str:
+        members = ", ".join(repr(node) for node in self.view.sorted_members())
+        return f"{self.coordinator!r} coordinates recovery of {{{members}}}"
+
+
+class CoordinatorElectionPolicy:
+    """Default policy: each border node volunteers itself as coordinator and
+    the pick elects the volunteer with the smallest identifier.
+
+    The decision is then literally a (coordinator, region) pair — a minimal
+    "unified recovery action" in the sense of the paper's introduction.
+    """
+
+    def select_value(self, graph: KnowledgeGraph, view: Region, node: NodeId) -> Any:
+        return ProposedRepair(coordinator=node, view=view)
+
+    def pick(self, graph: KnowledgeGraph, view: Region, values: Mapping[NodeId, Any]) -> Any:
+        if not values:
+            raise ValueError("deterministicPick needs at least one accepted value")
+        smallest_proposer = min(values, key=repr)
+        return values[smallest_proposer]
+
+
+class ConstantValuePolicy:
+    """Every node proposes the same constant; handy in unit tests."""
+
+    def __init__(self, value: Any = "ok") -> None:
+        self.value = value
+
+    def select_value(self, graph: KnowledgeGraph, view: Region, node: NodeId) -> Any:
+        return self.value
+
+    def pick(self, graph: KnowledgeGraph, view: Region, values: Mapping[NodeId, Any]) -> Any:
+        if not values:
+            raise ValueError("deterministicPick needs at least one accepted value")
+        return min((repr(v), v) for v in values.values())[1]
+
+
+class CallbackPolicy:
+    """Adapter turning two plain callables into a :class:`DecisionPolicy`."""
+
+    def __init__(self, select_value, pick) -> None:
+        self._select_value = select_value
+        self._pick = pick
+
+    def select_value(self, graph: KnowledgeGraph, view: Region, node: NodeId) -> Any:
+        return self._select_value(graph, view, node)
+
+    def pick(self, graph: KnowledgeGraph, view: Region, values: Mapping[NodeId, Any]) -> Any:
+        return self._pick(graph, view, values)
+
+
+#: Policy used when the caller does not provide one.
+DEFAULT_DECISION_POLICY = CoordinatorElectionPolicy()

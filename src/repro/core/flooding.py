@@ -1,0 +1,197 @@
+"""Flooding uniform consensus over a *fixed* participant set.
+
+The cliff-edge protocol is described by the paper as "primarily a
+superposition of flooding uniform consensus instances [8, 13] between the
+border nodes of proposed views".  This module provides that classical
+building block in isolation:
+
+* a fixed, globally known participant set;
+* a perfect failure detector on the participants;
+* in round ``r`` every participant multicasts everything it knows (a
+  vector of proposals) and waits for a message from every participant it
+  does not know to have crashed;
+* after ``|participants| - 1`` rounds (or earlier with the classical
+  "nothing new learned by anybody" optimisation) every correct participant
+  holds the same vector and decides ``pick(vector)``.
+
+The class is used directly by unit tests (as a reference implementation of
+the substrate), and by :mod:`repro.baselines.global_consensus`, the
+whole-network baseline against which the locality experiments compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+from ..graph import NodeId
+from ..sim.events import EventKind
+from ..sim.process import Process, ProcessContext
+
+
+@dataclass(frozen=True)
+class FloodMessage:
+    """One round message of the flooding consensus."""
+
+    round: int
+    values: Mapping[NodeId, Any] = field(default_factory=dict)
+    #: True when the sender asserts it learned nothing new in the previous
+    #: round (used by the early-termination optimisation).
+    stable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.round < 1:
+            raise ValueError("round numbers are 1-based")
+        object.__setattr__(self, "values", dict(self.values))
+
+    def wire_size(self) -> int:
+        return 16 + sum(8 + len(repr(value)) for value in self.values.values())
+
+
+def pick_minimum(values: Mapping[NodeId, Any]) -> Any:
+    """Default decision function: smallest value by ``repr`` (deterministic)."""
+    if not values:
+        raise ValueError("cannot decide on an empty value vector")
+    return min(values.values(), key=repr)
+
+
+def merge_sets(values: Mapping[NodeId, Any]) -> frozenset:
+    """Decision function unioning set-valued proposals (crash-map baseline)."""
+    merged: set = set()
+    for value in values.values():
+        merged.update(value)
+    return frozenset(merged)
+
+
+class FloodingConsensusNode(Process):
+    """One participant of a flooding uniform consensus.
+
+    Parameters
+    ----------
+    node_id:
+        This participant's identifier.
+    participants:
+        The full, fixed participant set (must contain ``node_id``).
+    initial_value:
+        The value proposed by this participant.
+    pick:
+        Deterministic decision function applied to the final vector.
+    auto_start:
+        When True the node starts round 1 in ``on_start``; otherwise the
+        caller triggers :meth:`begin` (directly or from a timer).
+    early_termination:
+        Enable the classical optimisation: once a full exchange adds no new
+        information anywhere, decide without running all ``n - 1`` rounds.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        participants: frozenset[NodeId],
+        initial_value: Any,
+        pick: Callable[[Mapping[NodeId, Any]], Any] = pick_minimum,
+        auto_start: bool = True,
+        early_termination: bool = True,
+    ) -> None:
+        if node_id not in participants:
+            raise ValueError("node must belong to the participant set")
+        if len(participants) < 1:
+            raise ValueError("participant set must not be empty")
+        self.node_id = node_id
+        self.participants = frozenset(participants)
+        self.initial_value = initial_value
+        self.pick = pick
+        self.auto_start = auto_start
+        self.early_termination = early_termination
+
+        self.known: dict[NodeId, Any] = {node_id: initial_value}
+        self.round = 0
+        self.started = False
+        self.decided: Optional[Any] = None
+        self.crashed_participants: set[NodeId] = set()
+        #: participants heard from, per round.
+        self._heard: dict[int, set[NodeId]] = {}
+        #: per-round buffered values from the future rounds of fast peers.
+        self._pending: dict[int, list[FloodMessage]] = {}
+        #: whether anything new was learned in the current round.
+        self._learned_something = True
+        #: peers that declared stability in the previous round.
+        self._stable_peers: dict[int, set[NodeId]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def total_rounds(self) -> int:
+        return max(1, len(self.participants) - 1)
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        others = self.participants - {self.node_id}
+        if others:
+            ctx.monitor_crash(others)
+        if self.auto_start:
+            self.begin(ctx)
+
+    def begin(self, ctx: ProcessContext) -> None:
+        """Start round 1 (idempotent)."""
+        if self.started or self.decided is not None:
+            return
+        self.started = True
+        self.round = 1
+        self._broadcast(ctx)
+        self._check_round(ctx)
+
+    def on_crash(self, ctx: ProcessContext, crashed: NodeId) -> None:
+        if crashed in self.participants:
+            self.crashed_participants.add(crashed)
+            if self.started and self.decided is None:
+                self._check_round(ctx)
+
+    def on_message(self, ctx: ProcessContext, sender: NodeId, message: Any) -> None:
+        if not isinstance(message, FloodMessage):
+            return
+        if self.decided is not None:
+            return
+        before = len(self.known)
+        for node, value in message.values.items():
+            self.known.setdefault(node, value)
+        if len(self.known) > before:
+            self._learned_something = True
+        self._heard.setdefault(message.round, set()).add(sender)
+        if message.stable:
+            self._stable_peers.setdefault(message.round, set()).add(sender)
+        if self.started:
+            self._check_round(ctx)
+
+    # ------------------------------------------------------------------
+    def _broadcast(self, ctx: ProcessContext) -> None:
+        stable = not self._learned_something
+        message = FloodMessage(self.round, dict(self.known), stable=stable)
+        ctx.multicast(sorted(self.participants, key=repr), message)
+        self._learned_something = False
+
+    def _check_round(self, ctx: ProcessContext) -> None:
+        while self.decided is None and self.started:
+            heard = self._heard.get(self.round, set())
+            expected = self.participants - self.crashed_participants
+            if expected - heard - {self.node_id} and self.node_id not in heard:
+                # Our own round message has not even come back yet.
+                return
+            if expected - heard:
+                return
+            everyone_stable = self.early_termination and (
+                expected <= self._stable_peers.get(self.round, set())
+            )
+            if self.round >= self.total_rounds or everyone_stable:
+                self.decided = self.pick(dict(self.known))
+                ctx.record(
+                    EventKind.DECIDED,
+                    payload=frozenset(self.known),
+                    decision=self.decided,
+                    rounds=self.round,
+                )
+                return
+            self.round += 1
+            self._broadcast(ctx)
+
+    @property
+    def has_decided(self) -> bool:
+        return self.decided is not None

@@ -1,0 +1,90 @@
+"""Protocol messages.
+
+The only message of Algorithm 1 is the round message
+``[r, V, border(V), op]`` (lines 17, 31 and 40): the round number, the
+proposed view, the view's border (the instance's participant set) and an
+opinion vector.  Rejections reuse the same shape with a vector carrying a
+single ``reject`` entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..graph import NodeId, Region
+from .opinions import Opinion, is_accept, is_reject
+
+
+@dataclass(frozen=True)
+class RoundMessage:
+    """One round message of a cliff-edge consensus instance.
+
+    Attributes
+    ----------
+    round:
+        The round this message belongs to (1-based, as in the paper).
+    view:
+        The proposed view ``V`` (a crashed region).
+    border:
+        ``border(V)`` — the participant set of the instance.
+    opinions:
+        The sender's opinion vector for round ``round - 1`` (or its own
+        initial opinion for round 1), as a plain mapping.
+    """
+
+    round: int
+    view: Region
+    border: frozenset[NodeId]
+    opinions: Mapping[NodeId, Opinion] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.round < 1:
+            raise ValueError("round numbers are 1-based")
+        if not isinstance(self.border, frozenset):
+            object.__setattr__(self, "border", frozenset(self.border))
+        # Freeze the mapping into a plain dict copy so the message is
+        # genuinely immutable from the recipient's point of view.
+        object.__setattr__(self, "opinions", dict(self.opinions))
+
+    def is_rejection(self) -> bool:
+        """True when the message carries at least one ``reject`` opinion."""
+        return any(is_reject(op) for op in self.opinions.values())
+
+    def known_entries(self) -> int:
+        """Number of non-``⊥`` entries carried."""
+        return sum(1 for op in self.opinions.values() if op is not None)
+
+    def wire_size(self) -> int:
+        """Deterministic byte estimate used by the bandwidth metrics.
+
+        We charge 8 bytes per node identifier referenced (view members,
+        border members, vector keys) plus 16 bytes per non-``⊥`` opinion
+        (tag + value) plus a fixed 16-byte header.  The constants are
+        arbitrary but fixed, so comparisons across runs are meaningful.
+        """
+        identifier_count = len(self.view.members) + len(self.border) + len(self.opinions)
+        known = self.known_entries()
+        return 16 + 8 * identifier_count + 16 * known
+
+    def describe(self) -> str:
+        """Short human-readable summary used by example scripts."""
+        kind = "reject" if self.is_rejection() and self.round == 1 else "round"
+        accepts = sum(1 for op in self.opinions.values() if is_accept(op))
+        rejects = sum(1 for op in self.opinions.values() if is_reject(op))
+        return (
+            f"{kind} r={self.round} view={sorted(map(repr, self.view.members))} "
+            f"(|border|={len(self.border)}, accepts={accepts}, rejects={rejects})"
+        )
+
+
+@dataclass(frozen=True)
+class ApplicationMessage:
+    """Envelope for non-protocol payloads (used by baselines and the repair
+    application when they piggyback on the same simulator)."""
+
+    topic: str
+    body: Any = None
+
+    def wire_size(self) -> int:
+        return 16 + len(repr(self.body))

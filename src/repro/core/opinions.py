@@ -1,0 +1,170 @@
+"""Opinion values and opinion vectors.
+
+Algorithm 1 exchanges *opinion vectors*: for a proposed view ``V`` and a
+round ``r``, each border node of ``V`` holds a vector indexed by the border
+nodes of ``V``, where every entry is one of:
+
+* ``⊥`` — nothing known yet about that node's stance (here: ``None``);
+* ``(accept, v)`` — the node accepted the view and proposed the decision
+  value ``v`` (here: :class:`Accept`);
+* ``reject`` — the node rejected the view because it was proposing a
+  higher-ranked one (here: the :data:`REJECT` sentinel).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+from ..graph import NodeId
+
+
+@dataclass(frozen=True)
+class Accept:
+    """An ``(accept, value)`` opinion: the node joined the instance."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return f"Accept({self.value!r})"
+
+
+class _Reject:
+    """Singleton sentinel for the ``reject`` opinion."""
+
+    _instance: Optional["_Reject"] = None
+
+    def __new__(cls) -> "_Reject":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "REJECT"
+
+    def __reduce__(self):
+        return (_Reject, ())
+
+
+#: The unique ``reject`` opinion value.
+REJECT = _Reject()
+
+#: Type of a single opinion entry.  ``None`` is the paper's ``⊥``.
+Opinion = Union[Accept, _Reject, None]
+
+
+def is_accept(opinion: Opinion) -> bool:
+    """True for ``(accept, v)`` opinions."""
+    return isinstance(opinion, Accept)
+
+
+def is_reject(opinion: Opinion) -> bool:
+    """True for the ``reject`` opinion."""
+    return opinion is REJECT
+
+
+def is_bottom(opinion: Opinion) -> bool:
+    """True for the unknown opinion ``⊥``."""
+    return opinion is None
+
+
+class OpinionVector:
+    """A mutable opinion vector indexed by border nodes.
+
+    Mirrors the paper's ``opinions[V][r][·]`` rows: entries start at ``⊥``
+    and may be overwritten exactly once (line 24 of Algorithm 1 only fills
+    ``⊥`` slots), which :meth:`merge` enforces.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, members: Iterable[NodeId]) -> None:
+        self._entries: dict[NodeId, Opinion] = {node: None for node in members}
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[NodeId, Opinion]) -> "OpinionVector":
+        vector = cls(mapping.keys())
+        for node, opinion in mapping.items():
+            if opinion is not None:
+                vector.set(node, opinion)
+        return vector
+
+    @property
+    def members(self) -> frozenset[NodeId]:
+        return frozenset(self._entries)
+
+    def get(self, node: NodeId) -> Opinion:
+        return self._entries[node]
+
+    def __getitem__(self, node: NodeId) -> Opinion:
+        return self._entries[node]
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._entries
+
+    def set(self, node: NodeId, opinion: Opinion) -> None:
+        """Fill one entry; only ``⊥`` entries may be overwritten."""
+        if node not in self._entries:
+            raise KeyError(f"{node!r} is not indexed by this opinion vector")
+        if opinion is None:
+            raise ValueError("cannot explicitly set an entry to bottom")
+        if self._entries[node] is not None:
+            # Line 24 of Algorithm 1 never overwrites a known opinion; the
+            # FIFO argument of Lemma 3 relies on first-writer-wins.
+            return
+        self._entries[node] = opinion
+
+    def merge(self, other: Mapping[NodeId, Opinion]) -> list[NodeId]:
+        """Fill every ``⊥`` entry for which ``other`` has information.
+
+        Returns the list of nodes whose entry was updated.
+        """
+        updated = []
+        for node, opinion in other.items():
+            if node in self._entries and self._entries[node] is None and opinion is not None:
+                self._entries[node] = opinion
+                updated.append(node)
+        return updated
+
+    def as_mapping(self) -> dict[NodeId, Opinion]:
+        """A copy of the raw entries (used to build round messages)."""
+        return dict(self._entries)
+
+    def rejectors(self) -> frozenset[NodeId]:
+        """Nodes whose entry is ``reject``."""
+        return frozenset(node for node, op in self._entries.items() if is_reject(op))
+
+    def accepters(self) -> frozenset[NodeId]:
+        """Nodes whose entry is an ``accept``."""
+        return frozenset(node for node, op in self._entries.items() if is_accept(op))
+
+    def unknown(self) -> frozenset[NodeId]:
+        """Nodes whose entry is still ``⊥``."""
+        return frozenset(node for node, op in self._entries.items() if op is None)
+
+    def all_accept(self) -> bool:
+        """True when every entry is an ``accept`` (decision condition, line 34)."""
+        return all(is_accept(op) for op in self._entries.values())
+
+    def accepted_values(self) -> dict[NodeId, Any]:
+        """The proposal values carried by the ``accept`` entries."""
+        return {
+            node: op.value
+            for node, op in self._entries.items()
+            if isinstance(op, Accept)
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OpinionVector):
+            return self._entries == other._entries
+        if isinstance(other, Mapping):
+            return self._entries == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{node!r}: {op!r}"
+            for node, op in sorted(self._entries.items(), key=lambda item: repr(item[0]))
+        )
+        return f"OpinionVector({{{inner}}})"

@@ -1,0 +1,382 @@
+"""The cliff-edge consensus protocol (Algorithm 1 of the paper).
+
+:class:`CliffEdgeNode` is a line-by-line implementation of the paper's
+*convergent detection of crashed regions*.  Its structure mirrors the
+pseudocode:
+
+====================  =====================================================
+Paper                  Here
+====================  =====================================================
+``init`` (l. 1-4)      :meth:`CliffEdgeNode.on_start`
+``crash | q`` (l. 5)   :meth:`CliffEdgeNode.on_crash` (view construction)
+l. 12-17               :meth:`_maybe_start_instance` (new consensus instance)
+``mDeliver`` (l. 18)   :meth:`CliffEdgeNode.on_message` (updating opinions)
+l. 26-31               :meth:`_maybe_reject` / :meth:`_reject`
+l. 32-40               :meth:`_maybe_complete_round` (round / decision)
+====================  =====================================================
+
+The three ``upon event`` guards over local state (lines 12, 26, 32) are
+re-evaluated to a fixpoint after every external event, which matches the
+paper's mono-threaded event-based semantics.
+
+Two deliberate, documented deviations from the raw pseudocode:
+
+* **Single-node borders.**  The pseudocode's round bookkeeping implicitly
+  assumes ``|border(V)| >= 2`` (it runs ``|border(V)| - 1`` rounds).  When a
+  proposed view has exactly one border node, that node is the only
+  participant; we run a single round and let it decide as soon as its own
+  round-1 message is (self-)delivered.
+* **Guard of line 32.**  The paper's guard does not mention ``proposed``;
+  taken literally it would keep firing after an instance failed.  Because
+  the round counter ``r`` belongs to the node's *active* proposal, we
+  additionally require an active proposal (``proposed != ⊥``), which is the
+  only reading under which the pseudocode terminates.
+
+Both points are covered by dedicated unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..graph import (
+    DEFAULT_RANKING,
+    KnowledgeGraph,
+    NodeId,
+    Region,
+    RegionRanking,
+)
+from ..sim.events import EventKind
+from ..sim.process import Process, ProcessContext
+from .decisions import DEFAULT_DECISION_POLICY, DecisionPolicy
+from .messages import RoundMessage
+from .opinions import REJECT, Accept, OpinionVector, is_accept, is_reject
+
+
+class ProtocolError(RuntimeError):
+    """Raised when the protocol observes an impossible state (a bug)."""
+
+
+class CliffEdgeNode(Process):
+    """One node of the convergent-detection-of-crashed-regions protocol.
+
+    Parameters
+    ----------
+    node_id:
+        This node's identifier in the knowledge graph.
+    decision_policy:
+        Provides ``selectValueForView`` and ``deterministicPick``.
+    ranking:
+        The strict total order ``≺`` on regions; defaults to the paper's
+        canonical ranking.
+    arbitration_enabled:
+        When False the node never rejects lower-ranked views (line 26 is
+        disabled).  Only used by the EXP-A1 ablation; the protocol is not
+        live without arbitration.
+    early_termination:
+        Enable the optimisation of the paper's footnote 6: an instance can
+        terminate "once a node sees that all nodes in its border set know
+        everything (i.e. no ⊥), i.e. after two rounds, in the best case".
+        Concretely the node decides at the end of round ``r >= 2`` when the
+        round vector is unanimously ``accept`` *and* every border node sent
+        a round-``r`` message whose carried vector had no ``⊥`` entry
+        (evidence that everybody already knows the full vector, so later
+        rounds cannot change anybody's outcome).  Off by default to stay
+        faithful to Algorithm 1 as written; EXP-A3 measures the savings.
+    on_decide:
+        Optional callback ``(view, decision) -> None`` fired when the node
+        decides, in addition to the DECIDED trace event.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        decision_policy: DecisionPolicy = DEFAULT_DECISION_POLICY,
+        ranking: RegionRanking = DEFAULT_RANKING,
+        arbitration_enabled: bool = True,
+        early_termination: bool = False,
+        on_decide: Optional[Callable[[Region, Any], None]] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.decision_policy = decision_policy
+        self.ranking = ranking
+        self.arbitration_enabled = arbitration_enabled
+        self.early_termination = early_termination
+        self.on_decide = on_decide
+
+        # --- Algorithm 1 state (lines 1-3) --------------------------------
+        #: Decision value once decided, else None (the paper's ``decided``).
+        self.decided: Optional[Any] = None
+        #: The view decided upon (not in the pseudocode, kept for callers).
+        self.decided_view: Optional[Region] = None
+        #: Value proposed for the current instance, else None (``proposed``).
+        self.proposed: Optional[Any] = None
+        #: Crashes this node has been notified of (``locallyCrashed``).
+        self.locally_crashed: set[NodeId] = set()
+        #: Highest-ranked crashed region known so far (``maxView``).
+        self.max_view: Optional[Region] = None
+        #: View waiting to be proposed (``candidateView``; None = empty).
+        self.candidate_view: Optional[Region] = None
+        #: View of the node's own current/last instance (``Vp``).
+        self.current_view: Optional[Region] = None
+        #: Views for which opinion state is tracked (``received``).
+        self.received: set[Region] = set()
+        #: Views this node has rejected (``rejected``).
+        self.rejected: set[Region] = set()
+        #: ``opinions[V][r]`` — one OpinionVector per view and round.
+        self.opinions: dict[Region, dict[int, OpinionVector]] = {}
+        #: ``waiting[V][r]`` — border nodes not yet heard from in round r.
+        self.waiting: dict[Region, dict[int, set[NodeId]]] = {}
+        #: Border of each tracked view, as carried by its round messages.
+        self.instance_border: dict[Region, frozenset[NodeId]] = {}
+        #: ``complete_senders[V][r]`` — border nodes whose round-``r``
+        #: message carried a vector without any ``⊥`` entry (only tracked
+        #: when ``early_termination`` is enabled).
+        self.complete_senders: dict[Region, dict[int, set[NodeId]]] = {}
+        #: Current round of the node's own active instance (``r``).
+        self.round: int = 0
+        #: Number of instances this node started (for metrics/tests).
+        self.instances_started: int = 0
+        #: Number of own instances that failed and were reset.
+        self.instances_failed: int = 0
+
+    # ------------------------------------------------------------------
+    # Event handlers (Process interface)
+    # ------------------------------------------------------------------
+    def on_start(self, ctx: ProcessContext) -> None:
+        """Line 1-4: initialise and monitor the node's own border."""
+        ctx.monitor_crash(ctx.graph.neighbours(self.node_id))
+
+    def on_crash(self, ctx: ProcessContext, crashed: NodeId) -> None:
+        """Lines 5-11: view construction upon a crash notification."""
+        if crashed == self.node_id:
+            raise ProtocolError("a node cannot be notified of its own crash")
+        if crashed in self.locally_crashed:
+            # The perfect failure detector notifies at most once per pair;
+            # seeing a duplicate would indicate a runtime bug.
+            return
+        self.locally_crashed.add(crashed)
+        # Line 7: extend monitoring to the border of the newly crashed node,
+        # so the locally known crashed region can keep growing.
+        to_monitor = ctx.graph.neighbours(crashed) - self.locally_crashed - {self.node_id}
+        if to_monitor:
+            ctx.monitor_crash(to_monitor)
+        # Lines 8-11: recompute the highest-ranked locally crashed region.
+        components = ctx.graph.connected_components(self.locally_crashed)
+        regions = [Region(component) for component in components]
+        best = self.ranking.max_ranked(ctx.graph, regions)  # type: ignore[attr-defined]
+        if self.max_view is None or self.ranking.precedes(ctx.graph, self.max_view, best):
+            self.max_view = best
+            self.candidate_view = best
+        self._evaluate_guards(ctx)
+
+    def on_message(self, ctx: ProcessContext, sender: NodeId, message: Any) -> None:
+        """Lines 18-25: updating opinions for a (possibly conflicting) view."""
+        if not isinstance(message, RoundMessage):
+            raise ProtocolError(f"unexpected message type {type(message).__name__}")
+        view = message.view
+        if view in self.rejected:
+            # Guard of line 18: messages about rejected views are ignored.
+            return
+        if view not in self.received:
+            self._initialise_instance_state(view, message.border)
+        round_vector = self.opinions[view].get(message.round)
+        if round_vector is None:
+            raise ProtocolError(
+                f"round {message.round} out of range for view with border "
+                f"{sorted(map(repr, message.border))}"
+            )
+        round_vector.merge(message.opinions)
+        rejectors = {
+            node for node, opinion in message.opinions.items() if is_reject(opinion)
+        }
+        self.waiting[view][message.round] -= {sender} | rejectors
+        if self.early_termination:
+            border = self.instance_border[view]
+            carried_complete = border <= {
+                node
+                for node, opinion in message.opinions.items()
+                if opinion is not None
+            }
+            if carried_complete:
+                self.complete_senders.setdefault(view, {}).setdefault(
+                    message.round, set()
+                ).add(sender)
+        self._evaluate_guards(ctx)
+
+    # ------------------------------------------------------------------
+    # Guards (lines 12, 26, 32) — evaluated to a fixpoint
+    # ------------------------------------------------------------------
+    def _evaluate_guards(self, ctx: ProcessContext) -> None:
+        progress = True
+        while progress:
+            progress = (
+                self._maybe_reject(ctx)
+                or self._maybe_start_instance(ctx)
+                or self._maybe_complete_round(ctx)
+            )
+
+    def _maybe_start_instance(self, ctx: ProcessContext) -> bool:
+        """Lines 12-17: start a new consensus instance."""
+        if self.proposed is not None or self.candidate_view is None:
+            return False
+        if self.decided is not None:
+            # A decided node never proposes again (its ``proposed`` is never
+            # reset after the deciding instance), so this is unreachable in
+            # the unmodified protocol; keep it as a safety net.
+            return False
+        view = self.candidate_view
+        self.current_view = view
+        self.candidate_view = None
+        self.proposed = self.decision_policy.select_value(ctx.graph, view, self.node_id)
+        border = ctx.graph.border(view.members)
+        if self.node_id not in border:
+            raise ProtocolError(
+                f"{self.node_id!r} proposed a view it does not border: {view!r}"
+            )
+        self.round = 1
+        self.instances_started += 1
+        initial = {node: None for node in border}
+        initial[self.node_id] = Accept(self.proposed)
+        ctx.record(
+            EventKind.VIEW_PROPOSED,
+            payload=view,
+            value=self.proposed,
+            border_size=len(border),
+        )
+        ctx.multicast(border, RoundMessage(1, view, frozenset(border), initial))
+        return True
+
+    def _maybe_reject(self, ctx: ProcessContext) -> bool:
+        """Line 26: reject a received view ranked strictly below ``Vp``."""
+        if not self.arbitration_enabled or self.current_view is None:
+            return False
+        for view in sorted(self.received, key=lambda v: self.ranking.key(ctx.graph, v)):  # type: ignore[attr-defined]
+            if view != self.current_view and self.ranking.precedes(
+                ctx.graph, view, self.current_view
+            ):
+                self._reject(ctx, view)
+                return True
+        return False
+
+    def _reject(self, ctx: ProcessContext, view: Region) -> None:
+        """Lines 28-31: multicast a reject vector for ``view``."""
+        border = self.instance_border.get(view, ctx.graph.border(view.members))
+        vector: dict[NodeId, Any] = {node: None for node in border}
+        vector[self.node_id] = REJECT
+        self.received.discard(view)
+        self.rejected.add(view)
+        ctx.record(EventKind.VIEW_REJECTED, payload=view, border_size=len(border))
+        ctx.multicast(border, RoundMessage(1, view, frozenset(border), vector))
+
+    def _maybe_complete_round(self, ctx: ProcessContext) -> bool:
+        """Lines 32-40: complete a round of the node's own instance."""
+        if self.proposed is None or self.decided is not None:
+            return False
+        view = self.current_view
+        if view is None or view not in self.received:
+            return False
+        pending = self.waiting[view][self.round] - self.locally_crashed
+        if pending:
+            return False
+        border = self.instance_border[view]
+        total_rounds = max(1, len(border) - 1)
+        ctx.record(
+            EventKind.ROUND_COMPLETED,
+            payload=view,
+            round=self.round,
+            total_rounds=total_rounds,
+        )
+        if self.round == total_rounds or self._can_terminate_early(view):
+            final_vector = self.opinions[view][self.round]
+            if all(is_accept(final_vector.get(node)) for node in border):
+                values = final_vector.accepted_values()
+                self.decided = self.decision_policy.pick(ctx.graph, view, values)
+                self.decided_view = view
+                ctx.record(
+                    EventKind.DECIDED,
+                    payload=view,
+                    decision=self.decided,
+                    rounds=self.round,
+                )
+                if self.on_decide is not None:
+                    self.on_decide(view, self.decided)
+            else:
+                # Line 37: the attempt failed (a reject or a crash made a
+                # unanimous accept impossible); reset and wait for view
+                # construction to produce a higher-ranked candidate.
+                self.proposed = None
+                self.instances_failed += 1
+                ctx.record(
+                    EventKind.INSTANCE_FAILED,
+                    payload=view,
+                    rejectors=tuple(sorted(map(repr, final_vector.rejectors()))),
+                )
+        else:
+            # Lines 38-40: advance to the next round, relaying everything
+            # known from the round that just completed.
+            previous = self.opinions[view][self.round]
+            self.round += 1
+            ctx.multicast(
+                border,
+                RoundMessage(self.round, view, border, previous.as_mapping()),
+            )
+        return True
+
+    def _can_terminate_early(self, view: Region) -> bool:
+        """Footnote-6 optimisation: everybody provably knows everything.
+
+        True when early termination is enabled, the current round's vector
+        is unanimously ``accept``, and every border node's round-``r``
+        message carried a complete (no-``⊥``) vector.  Under those
+        conditions no later round can change any node's final vector, so
+        terminating now preserves CD4/CD5.
+        """
+        if not self.early_termination or self.round < 2:
+            return False
+        border = self.instance_border[view]
+        vector = self.opinions[view][self.round]
+        if not all(is_accept(vector.get(node)) for node in border):
+            return False
+        complete = self.complete_senders.get(view, {}).get(self.round, set())
+        return border <= complete
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _initialise_instance_state(self, view: Region, border: frozenset[NodeId]) -> None:
+        """Lines 19-22: allocate opinion/waiting rows for a new view."""
+        self.received.add(view)
+        self.instance_border[view] = frozenset(border)
+        total_rounds = max(1, len(border) - 1)
+        self.opinions[view] = {
+            round_number: OpinionVector(border)
+            for round_number in range(1, total_rounds + 1)
+        }
+        self.waiting[view] = {
+            round_number: set(border) for round_number in range(1, total_rounds + 1)
+        }
+
+    # -- Introspection used by tests, experiments and examples ------------
+    @property
+    def has_decided(self) -> bool:
+        """True once the node has raised its ``decide`` event."""
+        return self.decided is not None
+
+    def known_crashed_region(self) -> frozenset[NodeId]:
+        """The set of nodes this node currently knows to have crashed."""
+        return frozenset(self.locally_crashed)
+
+    def describe_state(self) -> str:
+        """One-line state summary (used by the quickstart example)."""
+        status = "decided" if self.has_decided else (
+            "proposing" if self.proposed is not None else "idle"
+        )
+        view = self.decided_view or self.current_view
+        view_text = (
+            "{" + ", ".join(map(repr, view.sorted_members())) + "}" if view else "-"
+        )
+        return (
+            f"{self.node_id!r}: {status}, view={view_text}, "
+            f"known_crashed={sorted(map(repr, self.locally_crashed))}"
+        )

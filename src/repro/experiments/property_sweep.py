@@ -1,0 +1,173 @@
+"""Adversarial property sweep (EXP-C1).
+
+The paper proves CD1–CD7; the sweep checks them empirically across many
+randomised topologies and crash schedules, including the adversarial cases
+the proofs worry about: regions growing mid-protocol, cascades, several
+simultaneous regions, and slow/fast failure detection mixes.
+
+Every run is deterministic in its seed, so a violation (there should be
+none) is immediately reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..failures import (
+    CrashSchedule,
+    cascade_crash,
+    multi_region_crash,
+    random_connected_region,
+    region_crash,
+)
+from ..graph import KnowledgeGraph
+from ..graph.generators import (
+    barabasi_albert,
+    clustered_communities,
+    grid,
+    random_geometric,
+    torus,
+    watts_strogatz,
+)
+from ..sim import JitteredFailureDetector
+from .runner import run_cliff_edge
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One randomly generated run of the property sweep."""
+
+    seed: int
+    topology: str
+    nodes: int
+    crashed: int
+    faulty_domains: int
+    decisions: int
+    decided_views: int
+    messages: int
+    quiescent: bool
+    specification_holds: bool
+    violations: tuple[str, ...]
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "seed": self.seed,
+            "topology": self.topology,
+            "nodes": self.nodes,
+            "crashed": self.crashed,
+            "domains": self.faulty_domains,
+            "decisions": self.decisions,
+            "views": self.decided_views,
+            "messages": self.messages,
+            "quiescent": self.quiescent,
+            "spec_holds": self.specification_holds,
+        }
+
+
+def _random_topology(rng: random.Random) -> tuple[str, KnowledgeGraph]:
+    """A randomly chosen, randomly parameterised topology."""
+    choice = rng.randrange(6)
+    if choice == 0:
+        side = rng.randint(5, 9)
+        return f"grid-{side}x{side}", grid(side, side)
+    if choice == 1:
+        side = rng.randint(5, 9)
+        return f"torus-{side}x{side}", torus(side, side)
+    if choice == 2:
+        size = rng.randint(30, 70)
+        return f"geometric-{size}", random_geometric(size, 0.3, seed=rng.randrange(10_000))
+    if choice == 3:
+        size = rng.randint(30, 70)
+        return f"smallworld-{size}", watts_strogatz(size, 4, 0.2, seed=rng.randrange(10_000))
+    if choice == 4:
+        size = rng.randint(30, 70)
+        return f"scalefree-{size}", barabasi_albert(size, 2, seed=rng.randrange(10_000))
+    communities = rng.randint(3, 5)
+    return (
+        f"communities-{communities}",
+        clustered_communities(communities, rng.randint(4, 7), seed=rng.randrange(10_000)),
+    )
+
+
+def _random_schedule(rng: random.Random, graph: KnowledgeGraph) -> CrashSchedule:
+    """A randomly chosen crash pattern over ``graph``."""
+    pattern = rng.randrange(4)
+    max_region = max(1, min(len(graph) // 4, 8))
+    if pattern == 0:
+        region = random_connected_region(
+            graph, rng.randint(1, max_region), seed=rng.randrange(10_000)
+        )
+        return region_crash(graph, region.members, at=1.0, spread=rng.uniform(0.0, 4.0))
+    if pattern == 1:
+        first = random_connected_region(
+            graph, rng.randint(1, max_region), seed=rng.randrange(10_000)
+        )
+        second = random_connected_region(
+            graph,
+            rng.randint(1, max_region),
+            seed=rng.randrange(10_000),
+            forbidden=first.members,
+        )
+        return multi_region_crash(
+            graph, [first.members, second.members], at=1.0, stagger=rng.uniform(0.0, 5.0)
+        )
+    if pattern == 2:
+        start = rng.choice(sorted(graph.nodes, key=repr))
+        size = rng.randint(2, max_region + 1)
+        return cascade_crash(graph, start, size, start=1.0, spacing=rng.uniform(0.5, 3.0))
+    region = random_connected_region(
+        graph, rng.randint(2, max_region + 1), seed=rng.randrange(10_000)
+    )
+    # Same region, but crashing very slowly: view construction keeps racing
+    # the consensus rounds, which is where arbitration earns its keep.
+    return region_crash(graph, region.members, at=1.0, spread=rng.uniform(6.0, 15.0))
+
+
+def run_sweep_case(seed: int) -> SweepCase:
+    """Generate and execute one randomised case."""
+    rng = random.Random(seed)
+    topology_name, graph = _random_topology(rng)
+    schedule = _random_schedule(rng, graph)
+    result = run_cliff_edge(
+        graph,
+        schedule,
+        failure_detector=JitteredFailureDetector(0.3, rng.uniform(1.0, 3.0)),
+        seed=seed,
+        check=True,
+    )
+    from ..graph import faulty_domains  # local import to avoid cycle at module load
+
+    domains = faulty_domains(graph, schedule.nodes)
+    specification = result.specification
+    return SweepCase(
+        seed=seed,
+        topology=topology_name,
+        nodes=len(graph),
+        crashed=len(schedule.nodes),
+        faulty_domains=len(domains),
+        decisions=result.metrics.decisions,
+        decided_views=result.metrics.decided_views,
+        messages=result.metrics.messages_sent,
+        quiescent=result.simulator.is_quiescent(),
+        specification_holds=specification.holds if specification is not None else True,
+        violations=tuple(specification.violations()) if specification is not None else (),
+    )
+
+
+def property_sweep(seeds: Sequence[int] = tuple(range(20))) -> list[SweepCase]:
+    """EXP-C1: run the sweep for the given seeds."""
+    return [run_sweep_case(seed) for seed in seeds]
+
+
+def sweep_summary(cases: Sequence[SweepCase]) -> dict[str, object]:
+    """Aggregate view of a sweep (printed into EXPERIMENTS.md)."""
+    return {
+        "cases": len(cases),
+        "all_hold": all(case.specification_holds for case in cases),
+        "all_quiescent": all(case.quiescent for case in cases),
+        "total_decisions": sum(case.decisions for case in cases),
+        "total_messages": sum(case.messages for case in cases),
+        "violating_seeds": [case.seed for case in cases if not case.specification_holds],
+    }

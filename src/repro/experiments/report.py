@@ -1,0 +1,205 @@
+"""Regenerate every experiment table in one go.
+
+``python -m repro.experiments.report`` runs the full experiment index of
+DESIGN.md (figures, locality sweeps, baselines, property sweep, overlay
+repair, ablations) and prints the tables recorded in EXPERIMENTS.md.  The
+benchmarks under ``benchmarks/`` time the same code paths; this module is
+about the *numbers*, not the timings.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .ablation import (
+    arbitration_ablation,
+    early_termination_ablation,
+    ranking_ablation,
+)
+from .baseline_comparison import (
+    global_consensus_comparison,
+    gossip_comparison,
+    uncoordinated_comparison,
+)
+from .locality import locality_is_flat, region_size_sweep, system_size_sweep
+from .overlay_repair import overlay_repair_sweep
+from .property_sweep import property_sweep, sweep_summary
+from .scenarios import fig1a_scenario, run_fig1b, run_fig2, run_fig3
+from .tables import format_markdown_table, format_table
+
+
+@dataclass
+class ReportSection:
+    """One experiment's rendered output."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def to_text(self, markdown: bool = False) -> str:
+        renderer = format_markdown_table if markdown else format_table
+        table = renderer(self.rows) if self.rows else "(no table)"
+        lines = [f"## {self.experiment_id} — {self.title}", "", table, ""]
+        lines.extend(f"* {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def _fig1_section() -> ReportSection:
+    section = ReportSection("FIG-1", "Conflicting views resolved by arbitration")
+    result_a = fig1a_scenario().run()
+    observations = run_fig1b()
+    section.rows = [
+        {
+            "variant": "fig1a (F1 + F2 crash)",
+            "decided_views": len(result_a.decided_views),
+            "decisions": result_a.metrics.decisions,
+            "messages": result_a.metrics.messages_sent,
+            "rejections": result_a.metrics.rejections,
+            "spec_holds": result_a.specification.holds,
+        },
+        {
+            "variant": "fig1b (F1 grows into F3)",
+            "decided_views": len(observations.result.decided_views),
+            "decisions": observations.result.metrics.decisions,
+            "messages": observations.result.metrics.messages_sent,
+            "rejections": observations.rejections,
+            "spec_holds": observations.result.specification.holds,
+        },
+    ]
+    section.notes = [
+        f"fig1b conflict arose: {observations.conflict_arose}; "
+        f"converged on F3: {observations.converged_on_f3}",
+        "madrid proposals: "
+        + " -> ".join(str(sorted(map(str, v.members))) for v in observations.madrid_proposals),
+    ]
+    return section
+
+
+def _fig2_section() -> ReportSection:
+    section = ReportSection("FIG-2", "Faulty cluster of adjacent domains")
+    observations = run_fig2()
+    section.rows = [
+        {
+            "domain": name,
+            "decided": decided,
+            "deciders": ", ".join(map(str, observations.deciders[name])) or "-",
+        }
+        for name, decided in sorted(observations.decided_domains.items())
+    ]
+    section.notes = [
+        f"CD7 (progress for the cluster): {observations.cluster_has_decision}",
+        f"CD1–CD7 report: {observations.result.specification.holds}",
+    ]
+    return section
+
+
+def _fig3_section() -> ReportSection:
+    section = ReportSection("FIG-3", "View convergence on overlapping regions")
+    observations = run_fig3()
+    section.rows = [
+        {
+            "first_wave_decided": observations.first_wave_view is not None,
+            "grown_region_proposed": observations.grown_region_proposed,
+            "post_growth_decisions": len(observations.post_growth_views),
+            "no_conflicting_decision": observations.no_conflicting_decision,
+            "spec_holds": observations.result.specification.holds,
+        }
+    ]
+    return section
+
+
+def _locality_sections(quick: bool) -> list[ReportSection]:
+    sides = (8, 12, 16, 24) if quick else (8, 12, 16, 24, 32, 48, 64)
+    region_sides = (1, 2, 3, 4) if quick else (1, 2, 3, 4, 5, 6)
+    l1 = ReportSection("EXP-L1", "Cost vs. system size (fixed 3x3 crashed region)")
+    points = system_size_sweep(sides=sides)
+    l1.rows = [point.as_row() for point in points]
+    l1.notes = [f"message cost flat across system sizes: {locality_is_flat(points)}"]
+    l2 = ReportSection("EXP-L2", "Cost vs. crashed-region size (fixed 32x32 torus)")
+    l2.rows = [point.as_row() for point in region_size_sweep(region_sides=region_sides)]
+    return [l1, l2]
+
+
+def _baseline_sections(quick: bool) -> list[ReportSection]:
+    sides_global = (6, 8, 10) if quick else (6, 8, 10, 12, 16)
+    sides_gossip = (8, 12) if quick else (8, 12, 16, 24)
+    b1 = ReportSection("EXP-B1", "Cliff-edge vs. whole-network flooding consensus")
+    b1.rows = [point.as_row() for point in global_consensus_comparison(sides=sides_global)]
+    b2 = ReportSection("EXP-B2", "Cliff-edge vs. gossip eventual convergence")
+    b2.rows = [point.as_row() for point in gossip_comparison(sides=sides_gossip)]
+    b3 = ReportSection("EXP-B3", "Cliff-edge vs. uncoordinated local repair")
+    b3.rows = [point.as_row() for point in uncoordinated_comparison()]
+    return [b1, b2, b3]
+
+
+def _property_section(quick: bool) -> ReportSection:
+    seeds = tuple(range(10)) if quick else tuple(range(30))
+    section = ReportSection("EXP-C1", "CD1–CD7 under adversarial crash schedules")
+    cases = property_sweep(seeds)
+    section.rows = [case.as_row() for case in cases]
+    summary = sweep_summary(cases)
+    section.notes = [
+        f"all cases hold: {summary['all_hold']}; "
+        f"all quiescent: {summary['all_quiescent']}; "
+        f"violating seeds: {summary['violating_seeds']}"
+    ]
+    return section
+
+
+def _repair_section(quick: bool) -> ReportSection:
+    ring_sizes = (16, 32) if quick else (16, 32, 64)
+    section = ReportSection("EXP-R1", "End-to-end overlay repair")
+    section.rows = [
+        point.as_row() for point in overlay_repair_sweep(ring_sizes=ring_sizes)
+    ]
+    return section
+
+
+def _ablation_sections() -> list[ReportSection]:
+    a1 = ReportSection("EXP-A1", "Arbitration (reject rule) on/off")
+    a1.rows = [point.as_row() for point in arbitration_ablation()]
+    a2 = ReportSection("EXP-A2", "Ranking relation variants")
+    a2.rows = [point.as_row() for point in ranking_ablation()]
+    a3 = ReportSection("EXP-A3", "Footnote-6 early termination on/off")
+    a3.rows = [point.as_row() for point in early_termination_ablation()]
+    return [a1, a2, a3]
+
+
+def build_report(quick: bool = False) -> list[ReportSection]:
+    """Run every experiment and return its sections in DESIGN.md order."""
+    sections: list[ReportSection] = [
+        _fig1_section(),
+        _fig2_section(),
+        _fig3_section(),
+    ]
+    sections.extend(_locality_sections(quick))
+    sections.extend(_baseline_sections(quick))
+    sections.append(_property_section(quick))
+    sections.append(_repair_section(quick))
+    sections.extend(_ablation_sections())
+    return sections
+
+
+def render_report(
+    sections: Sequence[ReportSection],
+    markdown: bool = False,
+) -> str:
+    """Render all sections to one text blob."""
+    return "\n\n".join(section.to_text(markdown=markdown) for section in sections)
+
+
+def main(argv: Sequence[str] | None = None, write: Callable[[str], object] = print) -> int:
+    """CLI entry point: ``python -m repro.experiments.report [--quick] [--markdown]``."""
+    args = list(argv if argv is not None else sys.argv[1:])
+    quick = "--quick" in args
+    markdown = "--markdown" in args
+    sections = build_report(quick=quick)
+    write(render_report(sections, markdown=markdown))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    raise SystemExit(main())

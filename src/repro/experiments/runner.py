@@ -1,0 +1,195 @@
+"""High-level run harness.
+
+Everything the examples, tests and benchmarks need to execute a cliff-edge
+consensus scenario in one call: build a simulator over a graph, install a
+:class:`~repro.core.protocol.CliffEdgeNode` on every node, apply a crash
+schedule, run to quiescence, and package the outcome (trace, metrics,
+decisions, property report) into a :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..core import CliffEdgeNode, DEFAULT_DECISION_POLICY, DecisionPolicy
+from ..core.properties import Decision, SpecificationReport, check_all, extract_decisions
+from ..failures import CrashSchedule
+from ..graph import DEFAULT_RANKING, KnowledgeGraph, NodeId, Region, RegionRanking
+from ..sim import (
+    ConstantLatency,
+    FailureDetectorPolicy,
+    LatencyModel,
+    PerfectFailureDetector,
+    Simulator,
+)
+from ..trace import RunMetrics, TraceRecorder, collect_metrics
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated protocol run."""
+
+    graph: KnowledgeGraph
+    schedule: CrashSchedule
+    simulator: Simulator
+    trace: TraceRecorder
+    metrics: RunMetrics
+    decisions: list[Decision]
+    #: None until :meth:`check_specification` is called (or ``check=True``).
+    specification: Optional[SpecificationReport] = None
+    #: Extra labels attached by experiments (topology name, sweep point...).
+    labels: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def decided_views(self) -> frozenset[Region]:
+        """The distinct views decided during the run."""
+        return frozenset(decision.view for decision in self.decisions)
+
+    @property
+    def deciding_nodes(self) -> frozenset[NodeId]:
+        """The nodes that decided during the run."""
+        return frozenset(decision.node for decision in self.decisions)
+
+    def decisions_on(self, view: Region) -> list[Decision]:
+        """All decisions whose view equals ``view``."""
+        return [decision for decision in self.decisions if decision.view == view]
+
+    def node(self, node_id: NodeId) -> CliffEdgeNode:
+        """The protocol instance at ``node_id`` (post-run inspection)."""
+        process = self.simulator.process(node_id)
+        if not isinstance(process, CliffEdgeNode):
+            raise TypeError(f"process at {node_id!r} is not a CliffEdgeNode")
+        return process
+
+    def check_specification(self, include_liveness: bool = True) -> SpecificationReport:
+        """Run the CD1–CD7 checkers on the trace and cache the report."""
+        self.specification = check_all(
+            self.graph,
+            self.trace,
+            faulty=self.schedule.nodes,
+            include_liveness=include_liveness,
+        )
+        return self.specification
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary (used by examples)."""
+        lines = [
+            f"nodes={len(self.graph)} edges={self.graph.edge_count} "
+            f"crashed={len(self.schedule.nodes)}",
+            f"messages={self.metrics.messages_sent} "
+            f"bytes={self.metrics.bytes_sent} "
+            f"speaking_nodes={self.metrics.speaking_nodes}",
+            f"decisions={self.metrics.decisions} "
+            f"views={self.metrics.decided_views} "
+            f"rejections={self.metrics.rejections} "
+            f"failed_instances={self.metrics.failed_instances}",
+        ]
+        for view in sorted(self.decided_views, key=lambda v: sorted(map(repr, v.members))):
+            deciders = sorted(
+                repr(d.node) for d in self.decisions_on(view)
+            )
+            members = sorted(map(repr, view.members))
+            lines.append(f"view {members} decided by {deciders}")
+        if self.specification is not None:
+            status = "holds" if self.specification.holds else "VIOLATED"
+            lines.append(f"specification CD1-CD7: {status}")
+        return "\n".join(lines)
+
+
+def build_simulator(
+    graph: KnowledgeGraph,
+    schedule: CrashSchedule,
+    decision_policy: DecisionPolicy = DEFAULT_DECISION_POLICY,
+    ranking: RegionRanking = DEFAULT_RANKING,
+    latency: Optional[LatencyModel] = None,
+    failure_detector: Optional[FailureDetectorPolicy] = None,
+    seed: int = 0,
+    arbitration_enabled: bool = True,
+    early_termination: bool = False,
+    node_factory: Optional[Callable[[NodeId], CliffEdgeNode]] = None,
+) -> Simulator:
+    """Build a ready-to-run simulator with the protocol on every node."""
+    schedule.validate(graph)
+    sim = Simulator(
+        graph,
+        latency=latency if latency is not None else ConstantLatency(1.0),
+        failure_detector=(
+            failure_detector if failure_detector is not None else PerfectFailureDetector(1.0)
+        ),
+        seed=seed,
+    )
+
+    def default_factory(node_id: NodeId) -> CliffEdgeNode:
+        return CliffEdgeNode(
+            node_id,
+            decision_policy=decision_policy,
+            ranking=ranking,
+            arbitration_enabled=arbitration_enabled,
+            early_termination=early_termination,
+        )
+
+    sim.populate(node_factory if node_factory is not None else default_factory)
+    schedule.applied_to(sim)
+    return sim
+
+
+def run_cliff_edge(
+    graph: KnowledgeGraph,
+    schedule: CrashSchedule,
+    decision_policy: DecisionPolicy = DEFAULT_DECISION_POLICY,
+    ranking: RegionRanking = DEFAULT_RANKING,
+    latency: Optional[LatencyModel] = None,
+    failure_detector: Optional[FailureDetectorPolicy] = None,
+    seed: int = 0,
+    arbitration_enabled: bool = True,
+    early_termination: bool = False,
+    node_factory: Optional[Callable[[NodeId], CliffEdgeNode]] = None,
+    check: bool = False,
+    max_events: int = 5_000_000,
+    until: Optional[float] = None,
+) -> RunResult:
+    """Run a full cliff-edge consensus scenario and collect the results.
+
+    Parameters
+    ----------
+    graph, schedule:
+        Topology and crash schedule of the scenario.
+    decision_policy, ranking, latency, failure_detector, seed:
+        Protocol and substrate knobs (see the respective classes).
+    arbitration_enabled:
+        Disable the reject rule for the EXP-A1 ablation.
+    early_termination:
+        Enable the footnote-6 early-termination optimisation (EXP-A3).
+    node_factory:
+        Override how protocol instances are created (custom policies).
+    check:
+        When True, run the CD1–CD7 checkers and attach the report.
+    max_events, until:
+        Safety bounds forwarded to :meth:`Simulator.run`.
+    """
+    sim = build_simulator(
+        graph,
+        schedule,
+        decision_policy=decision_policy,
+        ranking=ranking,
+        latency=latency,
+        failure_detector=failure_detector,
+        seed=seed,
+        arbitration_enabled=arbitration_enabled,
+        early_termination=early_termination,
+        node_factory=node_factory,
+    )
+    sim.run(until=until, max_events=max_events)
+    trace = sim.trace
+    result = RunResult(
+        graph=graph,
+        schedule=schedule,
+        simulator=sim,
+        trace=trace,
+        metrics=collect_metrics(trace),
+        decisions=extract_decisions(trace),
+    )
+    if check:
+        result.check_specification(include_liveness=sim.is_quiescent())
+    return result

@@ -1,0 +1,287 @@
+"""Executable reproductions of the paper's figures.
+
+Each ``fig*_scenario`` builds the topology, the crash schedule and the
+failure-detector timing that recreate the situation drawn in the paper, and
+each ``run_fig*`` executes it and returns both the raw
+:class:`~repro.experiments.runner.RunResult` and a small summary of the
+figure-specific observations (who decided what, which conflicts arose and
+how they were resolved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..failures import CrashSchedule, growing_region_crash, multi_region_crash, region_crash
+from ..graph import KnowledgeGraph, NodeId, Region
+from ..sim import ConstantLatency, ScriptedFailureDetector
+from ..sim.events import EventKind
+from .runner import RunResult, run_cliff_edge
+from .topologies import (
+    FIG1_F1,
+    FIG1_F2,
+    FIG1_F3,
+    Fig2Layout,
+    Fig3Layout,
+    fig1_topology,
+    fig2_topology,
+    fig3_topology,
+)
+
+
+@dataclass
+class Scenario:
+    """A ready-to-run scenario: topology + crash schedule + detector timing."""
+
+    name: str
+    graph: KnowledgeGraph
+    schedule: CrashSchedule
+    description: str = ""
+    failure_detector: Optional[ScriptedFailureDetector] = None
+    labels: dict = field(default_factory=dict)
+
+    def run(self, check: bool = True, seed: int = 0) -> RunResult:
+        result = run_cliff_edge(
+            self.graph,
+            self.schedule,
+            failure_detector=self.failure_detector,
+            seed=seed,
+            check=check,
+        )
+        result.labels.update(self.labels)
+        result.labels["scenario"] = self.name
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 1a — two independent crashed regions, agreed locally
+# ---------------------------------------------------------------------------
+def fig1a_scenario() -> Scenario:
+    """Fig. 1a: regions F1 (Europe) and F2 (Pacific) crash independently."""
+    graph = fig1_topology()
+    schedule = multi_region_crash(graph, [FIG1_F1, FIG1_F2], at=1.0)
+    return Scenario(
+        name="fig1a",
+        graph=graph,
+        schedule=schedule,
+        description=(
+            "Two disjoint crashed regions; each border agrees locally and "
+            "nodes such as vancouver never talk to madrid (CD3)."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 1b — F1 grows into F3 while the agreement is in flight
+# ---------------------------------------------------------------------------
+def fig1b_scenario(madrid_detection_delay: float = 40.0) -> Scenario:
+    """Fig. 1b: paris crashes mid-protocol; madrid is slow to notice.
+
+    The scripted failure detector delays madrid's detection of paris'
+    crash, so madrid keeps trying to agree on F1 with london and roma while
+    berlin (paris' surviving neighbour) pushes for F3.  The protocol must
+    resolve the conflict through ranking-based rejection and converge on
+    F3.
+    """
+    graph = fig1_topology()
+    schedule = growing_region_crash(
+        graph,
+        FIG1_F1,
+        growth_members=["paris"],
+        initial_at=1.0,
+        growth_at=4.0,
+    )
+    detector = ScriptedFailureDetector(default_delay=1.0)
+    detector.set_delay("madrid", "paris", madrid_detection_delay)
+    return Scenario(
+        name="fig1b",
+        graph=graph,
+        schedule=schedule,
+        failure_detector=detector,
+        description=(
+            "F1 grows into F3 = F1 ∪ {paris} before agreement completes; "
+            "madrid and berlin initially hold conflicting views."
+        ),
+        labels={"madrid_detection_delay": madrid_detection_delay},
+    )
+
+
+@dataclass
+class Fig1bObservations:
+    """What the Fig. 1b run shows, extracted from the trace."""
+
+    result: RunResult
+    #: Views proposed by madrid over time (smallest first).
+    madrid_proposals: list[Region]
+    #: Views proposed by berlin over time.
+    berlin_proposals: list[Region]
+    #: The single view eventually decided.
+    decided_view: Optional[Region]
+    #: Number of rejection messages exchanged while resolving the conflict.
+    rejections: int
+
+    @property
+    def conflict_arose(self) -> bool:
+        """True when madrid and berlin really proposed different views."""
+        return any(view not in self.berlin_proposals for view in self.madrid_proposals)
+
+    @property
+    def converged_on_f3(self) -> bool:
+        return (
+            self.decided_view is not None
+            and self.decided_view.members == FIG1_F3
+        )
+
+
+def run_fig1b(check: bool = True, seed: int = 0) -> Fig1bObservations:
+    """Run the Fig. 1b scenario and extract its headline observations."""
+    scenario = fig1b_scenario()
+    result = scenario.run(check=check, seed=seed)
+
+    def proposals_of(node: NodeId) -> list[Region]:
+        return [
+            event.payload
+            for event in result.trace.of_kind(EventKind.VIEW_PROPOSED)
+            if event.node == node
+        ]
+
+    decided_views = sorted(result.decided_views, key=lambda v: len(v), reverse=True)
+    return Fig1bObservations(
+        result=result,
+        madrid_proposals=proposals_of("madrid"),
+        berlin_proposals=proposals_of("berlin"),
+        decided_view=decided_views[0] if decided_views else None,
+        rejections=result.metrics.rejections,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — a faulty cluster of adjacent domains
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig2Observations:
+    """What the Fig. 2 run shows."""
+
+    result: RunResult
+    layout: Fig2Layout
+    #: Faulty domains (by name F1..F4) that ended up decided.
+    decided_domains: dict[str, bool]
+    #: Node that decided each decided domain.
+    deciders: dict[str, tuple[NodeId, ...]]
+
+    @property
+    def cluster_has_decision(self) -> bool:
+        """CD7 for the single faulty cluster of the figure."""
+        return any(self.decided_domains.values())
+
+
+def fig2_scenario() -> Scenario:
+    """Fig. 2: four adjacent faulty domains crash simultaneously."""
+    layout = fig2_topology()
+    schedule = multi_region_crash(layout.graph, layout.domains, at=1.0)
+    return Scenario(
+        name="fig2",
+        graph=layout.graph,
+        schedule=schedule,
+        description=(
+            "A faulty cluster F1‖F2‖F3‖F4; shared border nodes can only "
+            "commit to one domain, so some lower-ranked domains may stay "
+            "undecided while CD7 still holds for the cluster."
+        ),
+    )
+
+
+def run_fig2(check: bool = True, seed: int = 0) -> Fig2Observations:
+    """Run the Fig. 2 scenario and report which domains were decided."""
+    layout = fig2_topology()
+    scenario = fig2_scenario()
+    result = scenario.run(check=check, seed=seed)
+    decided_domains: dict[str, bool] = {}
+    deciders: dict[str, tuple[NodeId, ...]] = {}
+    for index, members in enumerate(layout.domains, start=1):
+        name = f"F{index}"
+        region = Region(frozenset(members))
+        decisions = result.decisions_on(region)
+        decided_domains[name] = bool(decisions)
+        deciders[name] = tuple(sorted((d.node for d in decisions), key=repr))
+    return Fig2Observations(
+        result=result,
+        layout=layout,
+        decided_domains=decided_domains,
+        deciders=deciders,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — overlapping views and CD6
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig3Observations:
+    """What the Fig. 3 run shows."""
+
+    result: RunResult
+    layout: Fig3Layout
+    #: The view decided in the first wave.
+    first_wave_view: Optional[Region]
+    #: Views decided after the second wave (should not conflict).
+    post_growth_views: tuple[Region, ...]
+    #: True when some node proposed the grown (overlapping) region.
+    grown_region_proposed: bool
+
+    @property
+    def no_conflicting_decision(self) -> bool:
+        """CD6 in action: every decided view pair is equal or disjoint."""
+        views = [self.first_wave_view, *self.post_growth_views]
+        views = [view for view in views if view is not None]
+        for index, first in enumerate(views):
+            for second in views[index + 1 :]:
+                if first.overlaps(second) and first != second:
+                    return False
+        return True
+
+
+def fig3_scenario(growth_at: float = 120.0) -> Scenario:
+    """Fig. 3: a region is agreed, then grows after the agreement."""
+    layout = fig3_topology()
+    first = region_crash(layout.graph, layout.first_wave, at=1.0)
+    second = CrashSchedule(
+        tuple(
+            (node, growth_at + index)
+            for index, node in enumerate(layout.second_wave)
+        )
+    )
+    return Scenario(
+        name="fig3",
+        graph=layout.graph,
+        schedule=first.merged(second),
+        description=(
+            "A crashed region is agreed upon; it then grows over part of "
+            "its own border.  The grown region overlaps the decided one, "
+            "so CD6 forbids any conflicting second decision."
+        ),
+        labels={"growth_at": growth_at},
+    )
+
+
+def run_fig3(check: bool = True, seed: int = 0) -> Fig3Observations:
+    """Run the Fig. 3 scenario and extract the convergence observations."""
+    layout = fig3_topology()
+    scenario = fig3_scenario()
+    result = scenario.run(check=check, seed=seed)
+    first_view = Region(frozenset(layout.first_wave))
+    first_wave_decisions = result.decisions_on(first_view)
+    post_growth = tuple(
+        view for view in result.decided_views if view != first_view
+    )
+    grown_proposed = any(
+        event.payload.members == layout.combined
+        for event in result.trace.of_kind(EventKind.VIEW_PROPOSED)
+    )
+    return Fig3Observations(
+        result=result,
+        layout=layout,
+        first_wave_view=first_view if first_wave_decisions else None,
+        post_growth_views=post_growth,
+        grown_region_proposed=grown_proposed,
+    )

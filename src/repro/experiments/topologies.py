@@ -1,0 +1,244 @@
+"""Topologies used by the figure-reproduction scenarios.
+
+The paper's figures are drawn over an informal world-city network (Fig. 1)
+and a schematic cluster of adjacent faulty domains (Fig. 2).  The figures
+name the border nodes but not the crashed interior nodes, so we flesh the
+regions out with plausibly named interior cities; what matters for the
+reproduction is the *structure*: which nodes border which crashed region,
+and how the regions grow or touch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph import KnowledgeGraph, NodeId, Region
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — world-city topology with regions F1, F2 and F3
+# ---------------------------------------------------------------------------
+#: Interior nodes of crashed region F1 (Fig. 1a).
+FIG1_F1 = frozenset({"lyon", "geneva", "barcelona"})
+#: Border of F1 as drawn in the paper.
+FIG1_F1_BORDER = frozenset({"paris", "london", "madrid", "roma"})
+#: Interior nodes of crashed region F2 (Fig. 1a).
+FIG1_F2 = frozenset({"osaka", "seoul", "shanghai", "honolulu"})
+#: Border of F2 as drawn in the paper.
+FIG1_F2_BORDER = frozenset({"tokyo", "vancouver", "portland", "sydney", "beijing"})
+#: F3 = F1 grown by the crash of paris (Fig. 1b).
+FIG1_F3 = FIG1_F1 | {"paris"}
+#: Border of F3: berlin joins, paris leaves.
+FIG1_F3_BORDER = frozenset({"london", "madrid", "roma", "berlin"})
+#: Correct nodes that never border any crashed region (locality witnesses).
+FIG1_BYSTANDERS = frozenset(
+    {"newyork", "chicago", "moscow", "cairo", "lagos", "delhi", "lima", "auckland"}
+)
+
+
+def fig1_topology() -> KnowledgeGraph:
+    """The world-city knowledge graph of Fig. 1.
+
+    The graph is built so that::
+
+        border(F1) = {paris, london, madrid, roma}
+        border(F2) = {tokyo, vancouver, portland, sydney, beijing}
+        border(F1 ∪ {paris}) = {london, madrid, roma, berlin}
+
+    and so that a healthy backbone of bystander cities connects everything
+    without ever touching a crashed node.
+    """
+    edges: list[tuple[NodeId, NodeId]] = [
+        # --- F1 interior (a connected region) -----------------------------
+        ("lyon", "geneva"),
+        ("geneva", "barcelona"),
+        ("lyon", "barcelona"),
+        # --- F1 border attachments ----------------------------------------
+        ("paris", "lyon"),
+        ("london", "lyon"),
+        ("london", "geneva"),
+        ("madrid", "barcelona"),
+        ("roma", "geneva"),
+        ("roma", "barcelona"),
+        # --- paris' own neighbourhood: berlin joins when paris crashes ----
+        ("berlin", "paris"),
+        ("london", "paris"),
+        # note: madrid deliberately has no direct edge to paris, so madrid
+        # only borders F3 through barcelona; it still belongs to border(F3)
+        # because barcelona is a member of F3.
+        # --- F2 interior ----------------------------------------------------
+        ("osaka", "seoul"),
+        ("seoul", "shanghai"),
+        ("shanghai", "honolulu"),
+        ("osaka", "honolulu"),
+        # --- F2 border attachments -----------------------------------------
+        ("tokyo", "osaka"),
+        ("tokyo", "seoul"),
+        ("vancouver", "honolulu"),
+        ("portland", "honolulu"),
+        ("sydney", "shanghai"),
+        ("beijing", "seoul"),
+        ("beijing", "shanghai"),
+        # --- healthy backbone ----------------------------------------------
+        ("london", "newyork"),
+        ("newyork", "chicago"),
+        ("chicago", "vancouver"),
+        ("chicago", "portland"),
+        ("berlin", "moscow"),
+        ("moscow", "beijing"),
+        ("moscow", "chicago"),
+        ("madrid", "cairo"),
+        ("cairo", "lagos"),
+        ("cairo", "delhi"),
+        ("delhi", "beijing"),
+        ("newyork", "lima"),
+        ("sydney", "auckland"),
+        ("auckland", "lima"),
+        ("tokyo", "vancouver"),
+        ("roma", "cairo"),
+    ]
+    return KnowledgeGraph(edges)
+
+
+def fig1_region_f1(graph: KnowledgeGraph) -> Region:
+    """Region F1 of Fig. 1a, validated against the topology."""
+    return Region.of(graph, FIG1_F1)
+
+
+def fig1_region_f2(graph: KnowledgeGraph) -> Region:
+    """Region F2 of Fig. 1a, validated against the topology."""
+    return Region.of(graph, FIG1_F2)
+
+
+def fig1_region_f3(graph: KnowledgeGraph) -> Region:
+    """Region F3 of Fig. 1b (F1 grown by paris), validated."""
+    return Region.of(graph, FIG1_F3)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — a cluster of adjacent faulty domains
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig2Layout:
+    """The four faulty domains of Fig. 2 and their shared border nodes."""
+
+    graph: KnowledgeGraph
+    domains: tuple[frozenset[NodeId], ...]
+
+    def regions(self) -> tuple[Region, ...]:
+        return tuple(Region.of(self.graph, members) for members in self.domains)
+
+    def all_faulty(self) -> frozenset[NodeId]:
+        result: set[NodeId] = set()
+        for members in self.domains:
+            result.update(members)
+        return frozenset(result)
+
+
+def fig2_topology() -> Fig2Layout:
+    """Four faulty domains F1 ‖ F2 ‖ F3 ‖ F4 forming one faulty cluster.
+
+    Adjacent domains share border nodes (``x12`` borders F1 and F2, and so
+    on), which is exactly the adjacency relation of Fig. 2.  A few healthy
+    nodes surround the cluster so locality can be checked.
+    """
+    f1 = frozenset({"f1a", "f1b", "f1c"})
+    f2 = frozenset({"f2a", "f2b"})
+    f3 = frozenset({"f3a", "f3b", "f3c", "f3d"})
+    f4 = frozenset({"f4a"})
+    edges: list[tuple[NodeId, NodeId]] = [
+        # F1 interior
+        ("f1a", "f1b"),
+        ("f1b", "f1c"),
+        # F2 interior
+        ("f2a", "f2b"),
+        # F3 interior
+        ("f3a", "f3b"),
+        ("f3b", "f3c"),
+        ("f3c", "f3d"),
+        ("f3a", "f3c"),
+        # F4 has a single node, no interior edges.
+        # Shared border nodes gluing the cluster together
+        ("x12", "f1a"),
+        ("x12", "f2a"),
+        ("x23", "f2b"),
+        ("x23", "f3a"),
+        ("x34", "f3d"),
+        ("x34", "f4a"),
+        # Private border nodes of each domain
+        ("p1", "f1b"),
+        ("p1", "f1c"),
+        ("p2", "f2a"),
+        ("p3", "f3b"),
+        ("p3", "f3c"),
+        ("p4", "f4a"),
+        # Healthy backbone connecting the borders and some bystanders
+        ("p1", "x12"),
+        ("p2", "x12"),
+        ("p2", "x23"),
+        ("p3", "x23"),
+        ("p3", "x34"),
+        ("p4", "x34"),
+        ("bystander1", "p1"),
+        ("bystander1", "bystander2"),
+        ("bystander2", "p4"),
+        ("bystander3", "p2"),
+        ("bystander3", "bystander1"),
+    ]
+    return Fig2Layout(graph=KnowledgeGraph(edges), domains=(f1, f2, f3, f4))
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — overlapping views (CD6 convergence scenario)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig3Layout:
+    """First-wave region, second-wave growth, and the resulting big region."""
+
+    graph: KnowledgeGraph
+    first_wave: frozenset[NodeId]
+    second_wave: tuple[NodeId, ...]
+
+    @property
+    def combined(self) -> frozenset[NodeId]:
+        return self.first_wave | frozenset(self.second_wave)
+
+
+def fig3_topology() -> Fig3Layout:
+    """A region that crashes, is agreed upon, and later grows.
+
+    The second wave crashes part of the first region's border *after* the
+    first agreement has completed, producing the overlapping-view situation
+    of Fig. 3: the new, larger region overlaps the already decided one, and
+    CD6 requires that no conflicting decision be reached on it.
+    """
+    first_wave = frozenset({"v1", "v2", "v3"})
+    second_wave = ("b1", "b2")
+    edges: list[tuple[NodeId, NodeId]] = [
+        # First-wave region interior
+        ("v1", "v2"),
+        ("v2", "v3"),
+        ("v1", "v3"),
+        # Its border: b1, b2 (which will crash later), c1, c2, c3 (survivors)
+        ("b1", "v1"),
+        ("b2", "v2"),
+        ("c1", "v3"),
+        ("c2", "v1"),
+        ("c3", "v2"),
+        ("c3", "v3"),
+        # Nodes that only border the second wave (join the protocol late)
+        ("d1", "b1"),
+        ("d2", "b2"),
+        ("d1", "d2"),
+        # Healthy backbone
+        ("c1", "c2"),
+        ("c2", "c3"),
+        ("c1", "d1"),
+        ("c3", "d2"),
+        ("e1", "c1"),
+        ("e1", "e2"),
+        ("e2", "d2"),
+    ]
+    return Fig3Layout(
+        graph=KnowledgeGraph(edges), first_wave=first_wave, second_wave=second_wave
+    )

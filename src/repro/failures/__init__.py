@@ -1,0 +1,23 @@
+"""Crash schedules and fault injection."""
+
+from .schedules import (
+    CrashSchedule,
+    ScheduleError,
+    cascade_crash,
+    growing_region_crash,
+    multi_region_crash,
+    random_connected_region,
+    random_crashes,
+    region_crash,
+)
+
+__all__ = [
+    "CrashSchedule",
+    "ScheduleError",
+    "region_crash",
+    "growing_region_crash",
+    "multi_region_crash",
+    "random_connected_region",
+    "random_crashes",
+    "cascade_crash",
+]

@@ -1,0 +1,45 @@
+"""Knowledge-graph substrate: topology, regions, borders and ranking."""
+
+from .graph import GraphError, KnowledgeGraph, NodeId
+from .ranking import (
+    DEFAULT_RANKING,
+    RANKINGS,
+    CanonicalRanking,
+    RegionRanking,
+    SizeBorderRanking,
+    SizeOnlyRanking,
+    max_ranked_region,
+    region_precedes,
+)
+from .regions import (
+    Region,
+    RegionError,
+    are_adjacent,
+    cluster_border,
+    clustered,
+    faulty_clusters,
+    faulty_domains,
+)
+from . import generators
+
+__all__ = [
+    "GraphError",
+    "KnowledgeGraph",
+    "NodeId",
+    "Region",
+    "RegionError",
+    "are_adjacent",
+    "cluster_border",
+    "clustered",
+    "faulty_clusters",
+    "faulty_domains",
+    "CanonicalRanking",
+    "SizeOnlyRanking",
+    "SizeBorderRanking",
+    "RegionRanking",
+    "DEFAULT_RANKING",
+    "RANKINGS",
+    "region_precedes",
+    "max_ranked_region",
+    "generators",
+]

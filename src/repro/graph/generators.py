@@ -1,0 +1,252 @@
+"""Synthetic topology generators.
+
+The paper motivates cliff-edge consensus with very large decentralised
+systems (DHTs, overlays, geo-distributed services) but evaluates nothing
+numerically.  These generators provide the workloads used by our
+experiments: regular lattices whose crashed regions have predictable
+shapes (grids, tori, rings), and irregular graphs that stress the
+region/border machinery (random geometric, small-world, scale-free,
+clustered).
+
+All generators are deterministic for a given ``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Sequence
+
+from .graph import GraphError, KnowledgeGraph, NodeId
+
+
+def grid(width: int, height: int, diagonal: bool = False) -> KnowledgeGraph:
+    """A ``width x height`` 2-D lattice; nodes are ``(x, y)`` tuples.
+
+    With ``diagonal=True`` the eight-neighbourhood (Moore) is used instead
+    of the four-neighbourhood (von Neumann).
+    """
+    if width <= 0 or height <= 0:
+        raise GraphError("grid dimensions must be positive")
+    edges: list[tuple[NodeId, NodeId]] = []
+    offsets = [(1, 0), (0, 1)]
+    if diagonal:
+        offsets += [(1, 1), (1, -1)]
+    for x in range(width):
+        for y in range(height):
+            for dx, dy in offsets:
+                nx, ny = x + dx, y + dy
+                if 0 <= nx < width and 0 <= ny < height:
+                    edges.append(((x, y), (nx, ny)))
+    nodes = [(x, y) for x in range(width) for y in range(height)]
+    return KnowledgeGraph(edges, nodes=nodes)
+
+
+def torus(width: int, height: int) -> KnowledgeGraph:
+    """A 2-D torus (grid with wrap-around) — the EXP-L1/L2 workhorse.
+
+    Every node has degree 4, so a ``k x k`` crashed square always has a
+    border of the same size regardless of the torus dimensions, which is
+    exactly what the locality experiments need.
+    """
+    if width < 3 or height < 3:
+        raise GraphError("torus dimensions must be at least 3")
+    edges: list[tuple[NodeId, NodeId]] = []
+    for x in range(width):
+        for y in range(height):
+            edges.append(((x, y), ((x + 1) % width, y)))
+            edges.append(((x, y), (x, (y + 1) % height)))
+    return KnowledgeGraph(edges)
+
+
+def ring(size: int, successors: int = 1) -> KnowledgeGraph:
+    """A ring of ``size`` integer nodes, each knowing ``successors`` hops.
+
+    With ``successors > 1`` this models a Chord-like successor list, the
+    substrate of the overlay-repair application (EXP-R1).
+    """
+    if size < 3:
+        raise GraphError("ring size must be at least 3")
+    if successors < 1 or successors >= size:
+        raise GraphError("successor count must be in [1, size)")
+    edges = [
+        (i, (i + hop) % size)
+        for i in range(size)
+        for hop in range(1, successors + 1)
+    ]
+    return KnowledgeGraph(edges)
+
+
+def chord_like(size: int, successors: int = 2, fingers: bool = True) -> KnowledgeGraph:
+    """A ring plus power-of-two finger edges, approximating a Chord overlay."""
+    base_edges = list(ring(size, successors).edges())
+    if fingers:
+        hop = 2
+        while hop < size // 2:
+            base_edges.extend((i, (i + hop) % size) for i in range(size))
+            hop *= 2
+    return KnowledgeGraph(base_edges)
+
+
+def complete(size: int) -> KnowledgeGraph:
+    """The complete graph on integer nodes ``0 .. size-1``."""
+    if size < 1:
+        raise GraphError("complete graph needs at least one node")
+    edges = [(i, j) for i in range(size) for j in range(i + 1, size)]
+    return KnowledgeGraph(edges, nodes=range(size))
+
+
+def star(leaves: int) -> KnowledgeGraph:
+    """A star: node ``0`` is the hub, ``1..leaves`` are leaves."""
+    if leaves < 1:
+        raise GraphError("star needs at least one leaf")
+    return KnowledgeGraph([(0, i) for i in range(1, leaves + 1)])
+
+
+def line(size: int) -> KnowledgeGraph:
+    """A path graph of ``size`` integer nodes."""
+    if size < 2:
+        raise GraphError("line needs at least two nodes")
+    return KnowledgeGraph([(i, i + 1) for i in range(size - 1)])
+
+
+def random_geometric(
+    size: int, radius: float, seed: int = 0, ensure_connected: bool = True
+) -> KnowledgeGraph:
+    """Random geometric graph on the unit square.
+
+    Nodes are integers carrying implicit coordinates; an edge links nodes
+    whose points are within ``radius``.  Mirrors physical-proximity
+    topologies (sensor networks, geo DHTs) where correlated regional
+    failures are natural.
+    """
+    if size < 2:
+        raise GraphError("random geometric graph needs at least two nodes")
+    rng = random.Random(seed)
+    for attempt in range(64):
+        points = {i: (rng.random(), rng.random()) for i in range(size)}
+        edges = []
+        for i in range(size):
+            for j in range(i + 1, size):
+                xi, yi = points[i]
+                xj, yj = points[j]
+                if math.hypot(xi - xj, yi - yj) <= radius:
+                    edges.append((i, j))
+        graph = KnowledgeGraph(edges, nodes=range(size))
+        if not ensure_connected or graph.is_connected():
+            return graph
+    raise GraphError(
+        f"could not generate a connected random geometric graph "
+        f"(size={size}, radius={radius}) after 64 attempts; increase radius"
+    )
+
+
+def watts_strogatz(size: int, degree: int, rewire: float, seed: int = 0) -> KnowledgeGraph:
+    """Watts–Strogatz small-world graph (ring lattice with rewiring)."""
+    if degree % 2 != 0 or degree < 2:
+        raise GraphError("degree must be a positive even number")
+    if size <= degree:
+        raise GraphError("size must exceed degree")
+    if not 0.0 <= rewire <= 1.0:
+        raise GraphError("rewire probability must be in [0, 1]")
+    rng = random.Random(seed)
+    edge_set: set[frozenset[int]] = set()
+    for i in range(size):
+        for hop in range(1, degree // 2 + 1):
+            edge_set.add(frozenset((i, (i + hop) % size)))
+    edges = [tuple(sorted(edge)) for edge in edge_set]
+    rewired: set[frozenset[int]] = set(frozenset(edge) for edge in edges)
+    for u, v in list(edges):
+        if rng.random() < rewire:
+            candidates = [w for w in range(size) if w != u]
+            rng.shuffle(candidates)
+            for w in candidates:
+                candidate = frozenset((u, w))
+                if candidate not in rewired:
+                    rewired.discard(frozenset((u, v)))
+                    rewired.add(candidate)
+                    break
+    return KnowledgeGraph([tuple(edge) for edge in rewired], nodes=range(size))
+
+
+def barabasi_albert(size: int, attach: int, seed: int = 0) -> KnowledgeGraph:
+    """Barabási–Albert preferential-attachment graph (scale-free)."""
+    if attach < 1:
+        raise GraphError("attach must be at least 1")
+    if size <= attach:
+        raise GraphError("size must exceed attach")
+    rng = random.Random(seed)
+    edges: list[tuple[int, int]] = []
+    targets = list(range(attach))
+    repeated: list[int] = list(range(attach))
+    for new_node in range(attach, size):
+        chosen: set[int] = set()
+        while len(chosen) < attach:
+            chosen.add(rng.choice(repeated) if repeated else rng.randrange(new_node))
+        for target in chosen:
+            edges.append((new_node, target))
+            repeated.append(target)
+            repeated.append(new_node)
+        targets.append(new_node)
+    return KnowledgeGraph(edges, nodes=range(size))
+
+
+def clustered_communities(
+    communities: int,
+    community_size: int,
+    intra_probability: float = 0.8,
+    bridges: int = 2,
+    seed: int = 0,
+) -> KnowledgeGraph:
+    """Dense communities connected by a few bridge edges.
+
+    Correlated failures that take out an entire community are the
+    motivating failure mode of the paper (nodes behind the same relay /
+    in the same rack).  Node ids are ``(community, index)`` tuples.
+    """
+    if communities < 1 or community_size < 2:
+        raise GraphError("need at least one community of size >= 2")
+    if not 0.0 < intra_probability <= 1.0:
+        raise GraphError("intra_probability must be in (0, 1]")
+    rng = random.Random(seed)
+    edges: list[tuple[NodeId, NodeId]] = []
+    for community in range(communities):
+        members = [(community, index) for index in range(community_size)]
+        # Spanning ring first so each community is connected.
+        for index in range(community_size):
+            edges.append((members[index], members[(index + 1) % community_size]))
+        for i in range(community_size):
+            for j in range(i + 2, community_size):
+                if rng.random() < intra_probability:
+                    edges.append((members[i], members[j]))
+    for community in range(communities):
+        other = (community + 1) % communities
+        if other == community:
+            continue
+        for bridge in range(bridges):
+            edges.append(
+                (
+                    (community, bridge % community_size),
+                    (other, (bridge + 1) % community_size),
+                )
+            )
+    nodes = [(c, i) for c in range(communities) for i in range(community_size)]
+    return KnowledgeGraph(edges, nodes=nodes)
+
+
+def from_edge_list(edges: Sequence[tuple[NodeId, NodeId]]) -> KnowledgeGraph:
+    """Trivial wrapper, handy for tests and hand-drawn topologies."""
+    return KnowledgeGraph(edges)
+
+
+def square_region(corner: tuple[int, int], side: int) -> frozenset[NodeId]:
+    """The ``side x side`` block of grid/torus coordinates at ``corner``.
+
+    Used by the locality experiments to carve out crashed regions of a
+    known shape.  Coordinates are *not* wrapped; on a torus, pick corners
+    that keep the block inside ``[0, width) x [0, height)``.
+    """
+    cx, cy = corner
+    return frozenset(
+        (cx + dx, cy + dy) for dx in range(side) for dy in range(side)
+    )

@@ -1,0 +1,158 @@
+"""The region ranking relation ``≺`` of §3.1.
+
+The protocol arbitrates between conflicting views with a strict total
+order on regions.  The paper defines ``R ≻ S`` ("R outranks S") iff:
+
+1. ``R`` contains more nodes than ``S``; or
+2. they contain the same number of nodes but ``R``'s border contains more
+   nodes than ``S``'s border; or
+3. both sizes are equal and ``R`` is greater than ``S`` according to some
+   strict total order on node sets (the paper suggests a lexicographic
+   order on node ids — the concrete choice does not matter as long as it
+   is a strict total order and is the same at every node).
+
+The ordering therefore *subsumes set inclusion*: a strict superset always
+outranks its subsets, a fact the progress proof (Theorem 4) relies on.
+
+This module provides the canonical ranking plus two deliberately weaker
+variants used by the ranking ablation experiment (EXP-A2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Protocol
+
+from .graph import KnowledgeGraph, NodeId
+from .regions import Region
+
+
+def _lexicographic_key(members: Iterable[NodeId]) -> tuple[str, ...]:
+    """A deterministic, type-agnostic total order on node sets.
+
+    Node identifiers may be ints, strings or any hashable; sorting their
+    ``repr`` strings gives every node set a canonical tuple that compares
+    lexicographically, which is all the paper requires of the tie-break.
+    """
+    return tuple(sorted(repr(node) for node in members))
+
+
+class RegionRanking(Protocol):
+    """Interface of a ranking relation usable by the protocol."""
+
+    name: str
+
+    def key(self, graph: KnowledgeGraph, region: Region) -> tuple:
+        """Sort key; higher tuples mean higher-ranked regions."""
+        ...
+
+    def precedes(self, graph: KnowledgeGraph, lower: Region, higher: Region) -> bool:
+        """``lower ≺ higher`` (strictly lower ranked)."""
+        ...
+
+
+class CanonicalRanking:
+    """The paper's ranking: size, then border size, then lexicographic."""
+
+    name = "canonical"
+
+    def key(self, graph: KnowledgeGraph, region: Region) -> tuple:
+        return (
+            len(region),
+            len(region.border(graph)),
+            _lexicographic_key(region.members),
+        )
+
+    def precedes(self, graph: KnowledgeGraph, lower: Region, higher: Region) -> bool:
+        if lower == higher:
+            return False
+        return self.key(graph, lower) < self.key(graph, higher)
+
+    def max_ranked(self, graph: KnowledgeGraph, regions: Iterable[Region]) -> Region:
+        """``maxRankedRegion(C)`` — the highest ranked region of a set."""
+        candidates = list(regions)
+        if not candidates:
+            raise ValueError("maxRankedRegion of an empty collection")
+        return max(candidates, key=lambda region: self.key(graph, region))
+
+
+class SizeOnlyRanking:
+    """Ablation variant: rank by region size only (not a total order).
+
+    Ties between distinct, equally sized regions are broken by the
+    lexicographic key *anyway* so that ``max`` stays deterministic, but the
+    ``precedes`` relation deliberately reports ``False`` on size ties —
+    which is how a practitioner might naively implement the rule and what
+    EXP-A2 measures the consequences of.
+    """
+
+    name = "size-only"
+
+    def key(self, graph: KnowledgeGraph, region: Region) -> tuple:
+        return (len(region), _lexicographic_key(region.members))
+
+    def precedes(self, graph: KnowledgeGraph, lower: Region, higher: Region) -> bool:
+        if lower == higher:
+            return False
+        return len(lower) < len(higher)
+
+    def max_ranked(self, graph: KnowledgeGraph, regions: Iterable[Region]) -> Region:
+        candidates = list(regions)
+        if not candidates:
+            raise ValueError("maxRankedRegion of an empty collection")
+        return max(candidates, key=lambda region: self.key(graph, region))
+
+
+class SizeBorderRanking:
+    """Ablation variant: size then border size, no lexicographic tie-break."""
+
+    name = "size-border"
+
+    def key(self, graph: KnowledgeGraph, region: Region) -> tuple:
+        return (
+            len(region),
+            len(region.border(graph)),
+            _lexicographic_key(region.members),
+        )
+
+    def precedes(self, graph: KnowledgeGraph, lower: Region, higher: Region) -> bool:
+        if lower == higher:
+            return False
+        lower_key = (len(lower), len(lower.border(graph)))
+        higher_key = (len(higher), len(higher.border(graph)))
+        return lower_key < higher_key
+
+    def max_ranked(self, graph: KnowledgeGraph, regions: Iterable[Region]) -> Region:
+        candidates = list(regions)
+        if not candidates:
+            raise ValueError("maxRankedRegion of an empty collection")
+        return max(candidates, key=lambda region: self.key(graph, region))
+
+
+#: The ranking used everywhere unless an experiment overrides it.
+DEFAULT_RANKING = CanonicalRanking()
+
+#: All rankings, keyed by name, for the ablation harness.
+RANKINGS: dict[str, RegionRanking] = {
+    ranking.name: ranking
+    for ranking in (CanonicalRanking(), SizeOnlyRanking(), SizeBorderRanking())
+}
+
+
+def region_precedes(
+    graph: KnowledgeGraph,
+    lower: Region,
+    higher: Region,
+    ranking: RegionRanking = DEFAULT_RANKING,
+) -> bool:
+    """Convenience wrapper: ``lower ≺ higher`` under ``ranking``."""
+    return ranking.precedes(graph, lower, higher)
+
+
+def max_ranked_region(
+    graph: KnowledgeGraph,
+    regions: Iterable[Region],
+    ranking: RegionRanking = DEFAULT_RANKING,
+) -> Region:
+    """Convenience wrapper for ``maxRankedRegion``."""
+    return ranking.max_ranked(graph, regions)  # type: ignore[attr-defined]

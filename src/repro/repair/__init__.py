@@ -1,0 +1,15 @@
+"""Overlay-repair application built on cliff-edge consensus."""
+
+from .executor import RepairError, RepairOutcome, apply_decisions
+from .overlay import RingOverlay
+from .plans import RepairPlan, RingRepairPolicy, plan_for_view
+
+__all__ = [
+    "RingOverlay",
+    "RepairPlan",
+    "RingRepairPolicy",
+    "plan_for_view",
+    "RepairOutcome",
+    "RepairError",
+    "apply_decisions",
+]

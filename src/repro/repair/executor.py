@@ -1,0 +1,100 @@
+"""Executing and verifying repair plans.
+
+The protocol's output is a set of decisions ``(view, RepairPlan)``.  The
+executor applies the agreed plans to the overlay (installing the bridge
+edges), reports who actually drives each repair (the elected coordinator),
+and verifies the structural invariant the repair is meant to restore: every
+surviving node can again reach its live successor, and the survivor overlay
+is connected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.properties import Decision
+from ..graph import NodeId, Region
+from .overlay import RingOverlay
+from .plans import RepairPlan
+
+
+class RepairError(RuntimeError):
+    """Raised when decisions cannot be turned into a consistent repair."""
+
+
+@dataclass
+class RepairOutcome:
+    """Result of applying the agreed repair plans to the overlay."""
+
+    overlay: RingOverlay
+    crashed: frozenset[NodeId]
+    #: One plan per decided view (after de-duplicating identical decisions).
+    plans: dict[Region, RepairPlan] = field(default_factory=dict)
+    #: Bridge edges actually installed.
+    installed_edges: tuple[tuple[NodeId, NodeId], ...] = ()
+
+    @property
+    def coordinators(self) -> dict[Region, NodeId]:
+        """The coordinator elected for each repaired view."""
+        return {view: plan.coordinator for view, plan in self.plans.items()}
+
+    @property
+    def ring_restored(self) -> bool:
+        """True when every survivor reaches its live successor again."""
+        return self.overlay.ring_is_closed(self.crashed, self.installed_edges)
+
+    @property
+    def survivors_connected(self) -> bool:
+        """True when the survivor overlay (with repairs) is connected."""
+        survivor_graph = self.overlay.survivor_graph(self.crashed, self.installed_edges)
+        return survivor_graph.is_connected()
+
+    def summary(self) -> str:
+        lines = [
+            f"crashed={sorted(map(repr, self.crashed))}",
+            f"repaired views={len(self.plans)} "
+            f"bridges={len(self.installed_edges)}",
+            f"ring restored={self.ring_restored} "
+            f"survivors connected={self.survivors_connected}",
+        ]
+        for view, plan in sorted(self.plans.items(), key=lambda item: repr(item[0])):
+            lines.append("  " + plan.describe())
+        return "\n".join(lines)
+
+
+def apply_decisions(
+    overlay: RingOverlay,
+    crashed: Iterable[NodeId],
+    decisions: Iterable[Decision],
+) -> RepairOutcome:
+    """Apply the repair plans carried by a run's decisions.
+
+    Decisions on the same view must carry the same plan (the protocol's
+    CD5 guarantees it); a mismatch raises :class:`RepairError` because it
+    would mean the agreement layer failed.
+    """
+    plans: dict[Region, RepairPlan] = {}
+    for decision in decisions:
+        plan = decision.value
+        if not isinstance(plan, RepairPlan):
+            raise RepairError(
+                f"decision of {decision.node!r} does not carry a RepairPlan: {plan!r}"
+            )
+        existing = plans.get(decision.view)
+        if existing is None:
+            plans[decision.view] = plan
+        elif existing != plan:
+            raise RepairError(
+                f"conflicting plans agreed for view "
+                f"{sorted(map(repr, decision.view.members))}: {existing!r} vs {plan!r}"
+            )
+    installed: list[tuple[NodeId, NodeId]] = []
+    for plan in plans.values():
+        installed.extend(plan.new_edges)
+    return RepairOutcome(
+        overlay=overlay,
+        crashed=frozenset(crashed),
+        plans=plans,
+        installed_edges=tuple(sorted(set(installed))),
+    )

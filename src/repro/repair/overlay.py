@@ -1,0 +1,157 @@
+"""Ring overlay substrate for the repair application.
+
+The paper grew out of earlier work on the *generalised repair of overlay
+networks* (reference [16]); its introduction motivates cliff-edge consensus
+as the agreement step before a "unified recovery action".  This module
+provides the overlay that action repairs: a Chord-like ring in which every
+node knows its ``successors`` next nodes (and optionally power-of-two
+fingers).
+
+The overlay is deliberately simple — ring position *is* the node id — so
+that repair plans can be computed deterministically from a decided view and
+verified structurally after execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..graph import GraphError, KnowledgeGraph, NodeId
+from ..graph.generators import chord_like, ring
+
+
+@dataclass(frozen=True)
+class RingOverlay:
+    """A ring of ``size`` nodes with successor lists and optional fingers."""
+
+    size: int
+    successors: int = 2
+    fingers: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size < 4:
+            raise GraphError("ring overlays need at least 4 nodes")
+        if not 1 <= self.successors < self.size:
+            raise GraphError("successor count must be in [1, size)")
+
+    # ------------------------------------------------------------------
+    def knowledge_graph(self) -> KnowledgeGraph:
+        """The knowledge graph induced by the overlay's links."""
+        if self.fingers:
+            return chord_like(self.size, self.successors, fingers=True)
+        return ring(self.size, self.successors)
+
+    def nodes(self) -> tuple[int, ...]:
+        return tuple(range(self.size))
+
+    def successor(self, node: int, hop: int = 1) -> int:
+        """The ``hop``-th successor of ``node`` on the identifier ring."""
+        self._check(node)
+        return (node + hop) % self.size
+
+    def predecessor(self, node: int, hop: int = 1) -> int:
+        """The ``hop``-th predecessor of ``node`` on the identifier ring."""
+        self._check(node)
+        return (node - hop) % self.size
+
+    def arc(self, start: int, length: int) -> tuple[int, ...]:
+        """``length`` consecutive ring positions starting at ``start``."""
+        self._check(start)
+        if not 1 <= length < self.size:
+            raise GraphError("arc length must be in [1, size)")
+        return tuple((start + offset) % self.size for offset in range(length))
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.size:
+            raise GraphError(f"{node!r} is not a ring position of this overlay")
+
+    # ------------------------------------------------------------------
+    def live_successor(self, node: int, crashed: Iterable[NodeId]) -> int:
+        """The first non-crashed node clockwise after ``node``."""
+        crashed_set = frozenset(crashed)
+        self._check(node)
+        for hop in range(1, self.size):
+            candidate = self.successor(node, hop)
+            if candidate not in crashed_set:
+                return candidate
+        raise GraphError("every other node has crashed; the ring is gone")
+
+    def live_predecessor(self, node: int, crashed: Iterable[NodeId]) -> int:
+        """The first non-crashed node counter-clockwise before ``node``."""
+        crashed_set = frozenset(crashed)
+        self._check(node)
+        for hop in range(1, self.size):
+            candidate = self.predecessor(node, hop)
+            if candidate not in crashed_set:
+                return candidate
+        raise GraphError("every other node has crashed; the ring is gone")
+
+    def crashed_arcs(self, crashed: Iterable[NodeId]) -> list[tuple[int, ...]]:
+        """Maximal runs of consecutive crashed ring positions.
+
+        Each run is returned clockwise, starting at the position whose
+        predecessor is live.
+        """
+        crashed_set = {node for node in crashed if 0 <= int(node) < self.size}
+        if not crashed_set:
+            return []
+        if len(crashed_set) == self.size:
+            raise GraphError("the whole ring has crashed")
+        arcs: list[tuple[int, ...]] = []
+        for node in sorted(crashed_set):
+            if self.predecessor(node) in crashed_set:
+                continue
+            run = [node]
+            cursor = node
+            while self.successor(cursor) in crashed_set:
+                cursor = self.successor(cursor)
+                run.append(cursor)
+            arcs.append(tuple(run))
+        return arcs
+
+    # ------------------------------------------------------------------
+    def ring_is_closed(
+        self,
+        crashed: Iterable[NodeId],
+        extra_edges: Iterable[tuple[NodeId, NodeId]] = (),
+    ) -> bool:
+        """True when every live node can reach its live successor.
+
+        A live node reaches its live successor either through one of its
+        original links (successor list / fingers) or through one of the
+        ``extra_edges`` added by repair plans.  This is the structural
+        invariant the repair application restores.
+        """
+        crashed_set = frozenset(crashed)
+        graph = self.knowledge_graph()
+        extra: set[frozenset[NodeId]] = {frozenset(edge) for edge in extra_edges}
+        for node in range(self.size):
+            if node in crashed_set:
+                continue
+            target = self.live_successor(node, crashed_set)
+            if target == node:
+                continue
+            direct = graph.has_edge(node, target) or frozenset((node, target)) in extra
+            if not direct:
+                return False
+        return True
+
+    def survivor_graph(
+        self,
+        crashed: Iterable[NodeId],
+        extra_edges: Iterable[tuple[NodeId, NodeId]] = (),
+    ) -> KnowledgeGraph:
+        """The overlay restricted to live nodes, plus repair edges."""
+        crashed_set = frozenset(crashed)
+        base = self.knowledge_graph()
+        edges = [
+            (u, v)
+            for u, v in base.edges()
+            if u not in crashed_set and v not in crashed_set
+        ]
+        for u, v in extra_edges:
+            if u not in crashed_set and v not in crashed_set:
+                edges.append((u, v))
+        nodes = [node for node in range(self.size) if node not in crashed_set]
+        return KnowledgeGraph(edges, nodes=nodes)

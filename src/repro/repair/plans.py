@@ -1,0 +1,84 @@
+"""Repair plans: the decision values agreed upon by the border.
+
+A :class:`RepairPlan` is the "unified recovery action" of the paper's
+introduction, specialised to the ring overlay: a deterministic set of new
+edges that bridge the crashed arcs covered by a decided view, plus the
+coordinator responsible for driving the repair.
+
+Because the plan is a pure function of (overlay, view), every border node
+of a view proposes the *same* plan, and the protocol's
+``deterministicPick`` trivially yields a common action — exactly the
+pattern the paper has in mind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..graph import KnowledgeGraph, NodeId, Region
+from .overlay import RingOverlay
+
+
+@dataclass(frozen=True)
+class RepairPlan:
+    """A concrete recovery action for one decided view."""
+
+    #: The crashed region this plan repairs.
+    view: Region
+    #: New overlay edges to install (each bridges one crashed arc).
+    new_edges: tuple[tuple[NodeId, NodeId], ...]
+    #: The border node proposing to drive the repair.
+    coordinator: NodeId
+
+    def describe(self) -> str:
+        members = ", ".join(map(repr, self.view.sorted_members()))
+        bridges = ", ".join(f"{u!r}-{v!r}" for u, v in self.new_edges)
+        return (
+            f"repair of {{{members}}} by {self.coordinator!r}: "
+            f"bridge [{bridges or 'nothing'}]"
+        )
+
+    def wire_size(self) -> int:
+        return 16 + 8 * (len(self.view.members) + 2 * len(self.new_edges) + 1)
+
+
+def plan_for_view(overlay: RingOverlay, view: Region, coordinator: NodeId) -> RepairPlan:
+    """Compute the canonical repair plan of ``view`` on ``overlay``.
+
+    For every maximal crashed arc covered by the view, add one bridge edge
+    from the arc's live predecessor to its live successor.  The computation
+    only uses the view itself (not the proposer's wider knowledge), so all
+    proposers of the same view produce the same bridges.
+    """
+    crashed = view.members
+    bridges: list[tuple[NodeId, NodeId]] = []
+    for arc in overlay.crashed_arcs(crashed):
+        first, last = arc[0], arc[-1]
+        predecessor = overlay.live_predecessor(first, crashed)
+        successor = overlay.live_successor(last, crashed)
+        if predecessor != successor:
+            bridges.append((predecessor, successor))
+    return RepairPlan(view=view, new_edges=tuple(sorted(bridges)), coordinator=coordinator)
+
+
+class RingRepairPolicy:
+    """A :class:`~repro.core.decisions.DecisionPolicy` producing repair plans.
+
+    ``select_value`` proposes the canonical plan with the proposing node as
+    candidate coordinator; ``pick`` keeps the plan of the smallest border
+    node, so the agreed decision both fixes the bridges and elects a
+    coordinator.
+    """
+
+    def __init__(self, overlay: RingOverlay) -> None:
+        self.overlay = overlay
+
+    def select_value(self, graph: KnowledgeGraph, view: Region, node: NodeId) -> Any:
+        return plan_for_view(self.overlay, view, coordinator=node)
+
+    def pick(self, graph: KnowledgeGraph, view: Region, values: Mapping[NodeId, Any]) -> Any:
+        if not values:
+            raise ValueError("deterministicPick needs at least one accepted value")
+        chosen = min(values, key=repr)
+        return values[chosen]

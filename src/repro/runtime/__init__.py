@@ -1,0 +1,15 @@
+"""Asyncio runtime for running the same protocol processes concurrently."""
+
+from .async_runtime import (
+    AsyncRunResult,
+    AsyncRuntime,
+    run_cliff_edge_async,
+    run_cliff_edge_asyncio,
+)
+
+__all__ = [
+    "AsyncRuntime",
+    "AsyncRunResult",
+    "run_cliff_edge_async",
+    "run_cliff_edge_asyncio",
+]

@@ -1,0 +1,373 @@
+"""Asyncio runtime.
+
+The discrete-event simulator is the reference substrate (deterministic,
+fast, exhaustively checkable).  This module runs the *same*
+:class:`~repro.sim.process.Process` classes on top of ``asyncio`` with one
+task and one FIFO inbox per node, providing real concurrency: messages are
+delivered in send order per channel but interleaving across nodes is up to
+the event loop, exactly like the paper's asynchronous model.
+
+It exists for two reasons:
+
+* a credibility check — the protocol logic is runtime-agnostic and the
+  integration tests verify that asyncio runs reach the same decisions as
+  simulator runs on the same scenarios;
+* a stepping stone for anyone who wants to port the protocol onto a real
+  transport: replace the queue plumbing with sockets and keep the
+  processes untouched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..core.properties import Decision, extract_decisions
+from ..failures import CrashSchedule
+from ..graph import KnowledgeGraph, NodeId
+from ..sim.events import EventKind
+from ..sim.process import Process
+from ..trace import RunMetrics, TraceRecorder, collect_metrics
+
+
+class RuntimeError_(RuntimeError):
+    """Raised on asyncio-runtime misuse."""
+
+
+@dataclass
+class AsyncRunResult:
+    """Outcome of one asyncio run (mirrors the simulator's RunResult)."""
+
+    graph: KnowledgeGraph
+    schedule: CrashSchedule
+    trace: TraceRecorder
+    metrics: RunMetrics
+    decisions: list[Decision]
+    #: True when the run reached quiescence before the timeout.
+    quiescent: bool
+
+    @property
+    def decided_views(self):
+        return frozenset(decision.view for decision in self.decisions)
+
+    @property
+    def deciding_nodes(self):
+        return frozenset(decision.node for decision in self.decisions)
+
+
+class _Inbox:
+    """One node's FIFO inbox."""
+
+    def __init__(self) -> None:
+        self.queue: asyncio.Queue = asyncio.Queue()
+
+
+class _AsyncContext:
+    """ProcessContext implementation backed by the asyncio runtime."""
+
+    __slots__ = ("_runtime", "node_id")
+
+    def __init__(self, runtime: "AsyncRuntime", node_id: NodeId) -> None:
+        self._runtime = runtime
+        self.node_id = node_id
+
+    @property
+    def graph(self) -> KnowledgeGraph:
+        return self._runtime.graph
+
+    def now(self) -> float:
+        return self._runtime.now()
+
+    def send(self, target: NodeId, message: Any) -> None:
+        self._runtime._send(self.node_id, target, message)
+
+    def multicast(self, targets: Iterable[NodeId], message: Any) -> None:
+        for target in targets:
+            self._runtime._send(self.node_id, target, message)
+
+    def monitor_crash(self, targets: Iterable[NodeId]) -> None:
+        self._runtime._monitor(self.node_id, targets)
+
+    def set_timer(self, delay: float, tag: Any = None) -> None:
+        self._runtime._set_timer(self.node_id, delay, tag)
+
+    def record(
+        self,
+        kind: EventKind,
+        payload: Any = None,
+        peer: NodeId | None = None,
+        **detail: Any,
+    ) -> None:
+        self._runtime.trace.emit(
+            self._runtime.now(), kind, node=self.node_id, peer=peer, payload=payload, **detail
+        )
+
+
+class AsyncRuntime:
+    """Runs processes over asyncio tasks and queues.
+
+    Parameters
+    ----------
+    graph:
+        The knowledge graph shared by all nodes.
+    detection_delay:
+        Real-time delay (seconds) between a crash and its notifications —
+        the perfect failure detector's latency.
+    time_scale:
+        Multiplier applied to the *simulated* times of a
+        :class:`CrashSchedule` to turn them into real seconds.  The default
+        compresses a typical scenario into well under a second.
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        detection_delay: float = 0.01,
+        time_scale: float = 0.01,
+    ) -> None:
+        self.graph = graph
+        self.detection_delay = detection_delay
+        self.time_scale = time_scale
+        self.trace = TraceRecorder()
+        self._processes: dict[NodeId, Process] = {}
+        self._contexts: dict[NodeId, _AsyncContext] = {}
+        self._inboxes: dict[NodeId, _Inbox] = {}
+        self._tasks: dict[NodeId, asyncio.Task] = {}
+        self._crashed: set[NodeId] = set()
+        self._subscriptions: dict[NodeId, set[NodeId]] = {}
+        self._notified: set[tuple[NodeId, NodeId]] = set()
+        self._pending_callbacks = 0
+        self._activity = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._start_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def add_process(self, node_id: NodeId, process: Process) -> None:
+        if node_id not in self.graph:
+            raise RuntimeError_(f"node {node_id!r} is not in the graph")
+        self._processes[node_id] = process
+        self._contexts[node_id] = _AsyncContext(self, node_id)
+
+    def populate(self, factory: Callable[[NodeId], Process]) -> None:
+        for node in self.graph.nodes:
+            if node not in self._processes:
+                self.add_process(node, factory(node))
+
+    def process(self, node_id: NodeId) -> Process:
+        return self._processes[node_id]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        if self._loop is None:
+            return 0.0
+        return self._loop.time() - self._start_time
+
+    async def run(
+        self,
+        schedule: CrashSchedule,
+        timeout: float = 30.0,
+        settle_time: float = 0.05,
+    ) -> AsyncRunResult:
+        """Execute the scenario and wait for quiescence (or ``timeout``)."""
+        schedule.validate(self.graph)
+        missing = self.graph.nodes - self._processes.keys()
+        if missing:
+            raise RuntimeError_(
+                f"{len(missing)} graph nodes have no process installed"
+            )
+        self._loop = asyncio.get_running_loop()
+        self._start_time = self._loop.time()
+
+        for node in sorted(self._processes, key=repr):
+            self._inboxes[node] = _Inbox()
+        for node in sorted(self._processes, key=repr):
+            self._tasks[node] = asyncio.create_task(self._node_loop(node))
+        for node in sorted(self._processes, key=repr):
+            self.trace.emit(self.now(), EventKind.NODE_STARTED, node=node)
+            self._processes[node].on_start(self._contexts[node])
+
+        crash_task = asyncio.create_task(self._apply_schedule(schedule))
+        quiescent = await self._wait_for_quiescence(crash_task, timeout, settle_time)
+
+        crash_task.cancel()
+        for task in self._tasks.values():
+            task.cancel()
+        await asyncio.gather(*self._tasks.values(), crash_task, return_exceptions=True)
+
+        metrics = collect_metrics(self.trace)
+        return AsyncRunResult(
+            graph=self.graph,
+            schedule=schedule,
+            trace=self.trace,
+            metrics=metrics,
+            decisions=extract_decisions(self.trace),
+            quiescent=quiescent,
+        )
+
+    # ------------------------------------------------------------------
+    # Internal plumbing
+    # ------------------------------------------------------------------
+    async def _node_loop(self, node: NodeId) -> None:
+        inbox = self._inboxes[node]
+        context = self._contexts[node]
+        process = self._processes[node]
+        while True:
+            kind, payload = await inbox.queue.get()
+            self._activity += 1
+            if node in self._crashed:
+                continue
+            if kind == "message":
+                sender, message = payload
+                self.trace.emit(
+                    self.now(),
+                    EventKind.MESSAGE_DELIVERED,
+                    node=node,
+                    peer=sender,
+                    payload=message,
+                )
+                process.on_message(context, sender, message)
+            elif kind == "crash":
+                self.trace.emit(
+                    self.now(), EventKind.CRASH_NOTIFIED, node=node, peer=payload
+                )
+                process.on_crash(context, payload)
+            elif kind == "timer":
+                process.on_timer(context, payload)
+
+    async def _apply_schedule(self, schedule: CrashSchedule) -> None:
+        previous = 0.0
+        for node, time in sorted(schedule.crashes, key=lambda item: item[1]):
+            await asyncio.sleep(max(0.0, (time - previous) * self.time_scale))
+            previous = time
+            self._crash(node)
+
+    def _crash(self, node: NodeId) -> None:
+        if node in self._crashed:
+            return
+        self._crashed.add(node)
+        self.trace.emit(self.now(), EventKind.NODE_CRASHED, node=node)
+        for subscriber in sorted(self._subscriptions.get(node, ()), key=repr):
+            self._schedule_notification(subscriber, node)
+
+    def _send(self, source: NodeId, target: NodeId, message: Any) -> None:
+        if source in self._crashed:
+            return
+        if target not in self._inboxes:
+            raise RuntimeError_(f"message addressed to unknown node {target!r}")
+        self.trace.emit(
+            self.now(), EventKind.MESSAGE_SENT, node=source, peer=target, payload=message
+        )
+        if target in self._crashed:
+            self.trace.emit(
+                self.now(),
+                EventKind.MESSAGE_DROPPED,
+                node=target,
+                peer=source,
+                payload=message,
+            )
+            return
+        self._inboxes[target].queue.put_nowait(("message", (source, message)))
+
+    def _monitor(self, subscriber: NodeId, targets: Iterable[NodeId]) -> None:
+        target_list = list(targets)
+        if not target_list:
+            return
+        self.trace.emit(
+            self.now(),
+            EventKind.CRASH_MONITORED,
+            node=subscriber,
+            payload=tuple(sorted(map(repr, target_list))),
+        )
+        for target in target_list:
+            self._subscriptions.setdefault(target, set()).add(subscriber)
+            if target in self._crashed:
+                self._schedule_notification(subscriber, target)
+
+    def _schedule_notification(self, subscriber: NodeId, crashed: NodeId) -> None:
+        key = (subscriber, crashed)
+        if key in self._notified:
+            return
+        self._notified.add(key)
+        self._pending_callbacks += 1
+
+        def deliver() -> None:
+            self._pending_callbacks -= 1
+            if subscriber not in self._crashed:
+                self._inboxes[subscriber].queue.put_nowait(("crash", crashed))
+
+        assert self._loop is not None
+        self._loop.call_later(self.detection_delay, deliver)
+
+    def _set_timer(self, node: NodeId, delay: float, tag: Any) -> None:
+        self._pending_callbacks += 1
+
+        def fire() -> None:
+            self._pending_callbacks -= 1
+            if node not in self._crashed:
+                self._inboxes[node].queue.put_nowait(("timer", tag))
+
+        assert self._loop is not None
+        self._loop.call_later(delay * self.time_scale, fire)
+
+    async def _wait_for_quiescence(
+        self, crash_task: asyncio.Task, timeout: float, settle_time: float
+    ) -> bool:
+        assert self._loop is not None
+        deadline = self._loop.time() + timeout
+        last_activity = -1
+        while self._loop.time() < deadline:
+            await asyncio.sleep(settle_time)
+            inboxes_empty = all(inbox.queue.empty() for inbox in self._inboxes.values())
+            idle = (
+                crash_task.done()
+                and inboxes_empty
+                and self._pending_callbacks == 0
+                and self._activity == last_activity
+            )
+            if idle:
+                return True
+            last_activity = self._activity
+        return False
+
+
+async def run_cliff_edge_async(
+    graph: KnowledgeGraph,
+    schedule: CrashSchedule,
+    node_factory: Callable[[NodeId], Process],
+    detection_delay: float = 0.01,
+    time_scale: float = 0.01,
+    timeout: float = 30.0,
+) -> AsyncRunResult:
+    """Convenience wrapper: populate, run, and collect results."""
+    runtime = AsyncRuntime(
+        graph, detection_delay=detection_delay, time_scale=time_scale
+    )
+    runtime.populate(node_factory)
+    return await runtime.run(schedule, timeout=timeout)
+
+
+def run_cliff_edge_asyncio(
+    graph: KnowledgeGraph,
+    schedule: CrashSchedule,
+    node_factory: Callable[[NodeId], Process],
+    detection_delay: float = 0.01,
+    time_scale: float = 0.01,
+    timeout: float = 30.0,
+) -> AsyncRunResult:
+    """Synchronous entry point (creates and drives its own event loop)."""
+    return asyncio.run(
+        run_cliff_edge_async(
+            graph,
+            schedule,
+            node_factory,
+            detection_delay=detection_delay,
+            time_scale=time_scale,
+            timeout=timeout,
+        )
+    )

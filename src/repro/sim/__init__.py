@@ -1,0 +1,43 @@
+"""Deterministic discrete-event simulation substrate."""
+
+from .events import EventKind, TraceEvent, payload_size
+from .failure_detector import (
+    FailureDetectorPolicy,
+    JitteredFailureDetector,
+    PerfectFailureDetector,
+    ScriptedFailureDetector,
+)
+from .latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    PerPairLatency,
+    UniformLatency,
+)
+from .network import DEFAULT_MAX_EVENTS, SimulationError, Simulator
+from .process import IdleProcess, Process, ProcessContext
+from .scheduler import EventHandle, EventScheduler, SchedulerError
+
+__all__ = [
+    "EventKind",
+    "TraceEvent",
+    "payload_size",
+    "FailureDetectorPolicy",
+    "PerfectFailureDetector",
+    "JitteredFailureDetector",
+    "ScriptedFailureDetector",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "PerPairLatency",
+    "Simulator",
+    "SimulationError",
+    "DEFAULT_MAX_EVENTS",
+    "Process",
+    "ProcessContext",
+    "IdleProcess",
+    "EventScheduler",
+    "EventHandle",
+    "SchedulerError",
+]

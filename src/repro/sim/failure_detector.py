@@ -1,0 +1,113 @@
+"""Failure detectors.
+
+The protocol assumes a **perfect failure detector** (class P) exposed as a
+subscription service (§3.1): a node subscribes to the crashes of a set of
+nodes with ``monitorCrash | S`` and later receives ``crash | q`` events.
+The detector guarantees:
+
+* **Strong accuracy** — a ``crash | q`` event is only raised at ``p`` if
+  ``q`` has really crashed and ``p`` subscribed to ``q``; and
+* **Strong completeness** — if ``q`` crashes and ``p`` subscribed to ``q``
+  (before or after the crash), ``p`` eventually receives ``crash | q``.
+
+In the simulator the ground truth of who has crashed is known, so accuracy
+is trivial; the interesting knob is *when* each subscriber learns about
+each crash.  Three implementations are provided:
+
+* :class:`PerfectFailureDetector` — a fixed detection delay, identical for
+  everybody; the default.
+* :class:`JitteredFailureDetector` — per-(subscriber, crashed) random
+  delays drawn from a seeded range.  Still perfect, but subscribers learn
+  about the same crash at different times, which is how divergent views
+  (Fig. 1b) arise organically.
+* :class:`ScriptedFailureDetector` — the experiment fixes the exact
+  notification time of chosen (subscriber, crashed) pairs.  Used to
+  reproduce the paper's figures precisely (e.g. "madrid is slow to detect
+  paris' crash").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Protocol
+
+from ..graph import NodeId
+
+
+class FailureDetectorPolicy(Protocol):
+    """Decides the notification delay for a (subscriber, crashed) pair.
+
+    The simulator calls :meth:`delay` once per pair, at the moment both
+    conditions hold (the target has crashed *and* the subscriber has
+    subscribed); the returned value is added to the current simulated time.
+    """
+
+    def delay(
+        self, subscriber: NodeId, crashed: NodeId, rng: random.Random
+    ) -> float:
+        ...
+
+
+class PerfectFailureDetector:
+    """Constant detection delay for every subscriber and every crash."""
+
+    def __init__(self, detection_delay: float = 1.0) -> None:
+        if detection_delay < 0:
+            raise ValueError("detection delay must be non-negative")
+        self.detection_delay = detection_delay
+
+    def delay(self, subscriber: NodeId, crashed: NodeId, rng: random.Random) -> float:
+        return self.detection_delay
+
+
+class JitteredFailureDetector:
+    """Uniformly random detection delay in ``[low, high]`` per pair.
+
+    Because different border nodes of a growing crashed region learn of
+    crashes in different orders, they naturally build *different* candidate
+    views for a while — the self-defining-constituency situation the
+    protocol is designed to resolve.
+    """
+
+    def __init__(self, low: float = 0.5, high: float = 3.0) -> None:
+        if low < 0 or high < low:
+            raise ValueError("need 0 <= low <= high")
+        self.low = low
+        self.high = high
+
+    def delay(self, subscriber: NodeId, crashed: NodeId, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class ScriptedFailureDetector:
+    """Explicit per-pair detection delays with a default fallback.
+
+    Parameters
+    ----------
+    delays:
+        Mapping ``(subscriber, crashed) -> delay``.
+    default_delay:
+        Used for pairs not present in ``delays``.
+    """
+
+    def __init__(
+        self,
+        delays: Optional[dict[tuple[NodeId, NodeId], float]] = None,
+        default_delay: float = 1.0,
+    ) -> None:
+        if default_delay < 0:
+            raise ValueError("default delay must be non-negative")
+        self._delays = dict(delays or {})
+        for pair, value in self._delays.items():
+            if value < 0:
+                raise ValueError(f"negative delay for pair {pair!r}")
+        self.default_delay = default_delay
+
+    def set_delay(self, subscriber: NodeId, crashed: NodeId, delay: float) -> None:
+        """Add or override the delay for one pair."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self._delays[(subscriber, crashed)] = delay
+
+    def delay(self, subscriber: NodeId, crashed: NodeId, rng: random.Random) -> float:
+        return self._delays.get((subscriber, crashed), self.default_delay)

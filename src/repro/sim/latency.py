@@ -1,0 +1,91 @@
+"""Message latency models for the discrete-event simulator.
+
+The paper's channels are asynchronous (no bound on delivery time) but
+reliable and FIFO.  The simulator lets experiments pick how adversarial the
+asynchrony is: constant latency for fully deterministic runs, seeded
+uniform/exponential jitter for stress runs, and a per-pair model for
+topology-aware delays.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..graph import NodeId
+
+
+class LatencyModel(Protocol):
+    """Returns the network delay for a message from ``source`` to ``target``."""
+
+    def sample(self, source: NodeId, target: NodeId, rng: random.Random) -> float:
+        ...
+
+
+@dataclass(frozen=True)
+class ConstantLatency:
+    """Every message takes exactly ``delay`` time units."""
+
+    delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.delay <= 0:
+            raise ValueError("latency must be positive")
+
+    def sample(self, source: NodeId, target: NodeId, rng: random.Random) -> float:
+        return self.delay
+
+
+@dataclass(frozen=True)
+class UniformLatency:
+    """Latency drawn uniformly from ``[low, high]``."""
+
+    low: float = 0.5
+    high: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.low <= 0 or self.high < self.low:
+            raise ValueError("need 0 < low <= high")
+
+    def sample(self, source: NodeId, target: NodeId, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class ExponentialLatency:
+    """Heavy-ish tailed latency: ``base + Exp(mean)`` jitter."""
+
+    base: float = 0.1
+    mean: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.mean <= 0:
+            raise ValueError("need base >= 0 and mean > 0")
+
+    def sample(self, source: NodeId, target: NodeId, rng: random.Random) -> float:
+        return self.base + rng.expovariate(1.0 / self.mean)
+
+
+@dataclass(frozen=True)
+class PerPairLatency:
+    """Fixed latency per ordered node pair, with a default for the rest.
+
+    Handy for building adversarial schedules (e.g. make ``madrid`` slow to
+    hear from ``berlin`` in the Fig. 1b scenario).
+    """
+
+    pairs: tuple[tuple[tuple[NodeId, NodeId], float], ...]
+    default: float = 1.0
+
+    def sample(self, source: NodeId, target: NodeId, rng: random.Random) -> float:
+        for (pair_source, pair_target), delay in self.pairs:
+            if pair_source == source and pair_target == target:
+                return delay
+        return self.default
+
+    @classmethod
+    def from_dict(
+        cls, pairs: dict[tuple[NodeId, NodeId], float], default: float = 1.0
+    ) -> "PerPairLatency":
+        return cls(tuple(pairs.items()), default)

@@ -1,0 +1,328 @@
+"""The deterministic discrete-event simulator.
+
+:class:`Simulator` ties together the knowledge graph, the per-node
+processes, reliable FIFO channels with a pluggable latency model, a crash
+schedule, and a perfect failure detector.  Every observable action is
+recorded into a :class:`~repro.trace.recorder.TraceRecorder` so that
+property checkers and metrics can be computed after the run.
+
+Model guarantees (matching §2.2 of the paper):
+
+* channels are reliable and FIFO between every ordered pair of nodes;
+* nodes are asynchronous — there is no bound on relative speeds, modelled
+  here by the latency model's jitter;
+* a crashed node stops executing instantly: its handlers are never invoked
+  again, it sends nothing, and messages addressed to it are dropped;
+* the failure detector is perfect (strong accuracy + strong completeness),
+  with a configurable notification-delay policy.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable
+from typing import Any, Optional
+
+from ..graph import KnowledgeGraph, NodeId
+from ..trace import TraceRecorder
+from .events import EventKind
+from .failure_detector import FailureDetectorPolicy, PerfectFailureDetector
+from .latency import ConstantLatency, LatencyModel
+from .process import Process, ProcessContext
+from .scheduler import EventScheduler
+
+#: Minimal spacing between two deliveries on the same FIFO channel; keeps
+#: delivery order equal to send order even under jittered latencies.
+_FIFO_EPSILON = 1e-9
+
+#: Default safety valve for :meth:`Simulator.run` — far above anything the
+#: experiments need, but low enough to abort a livelocked run quickly.
+DEFAULT_MAX_EVENTS = 5_000_000
+
+
+class SimulationError(RuntimeError):
+    """Raised on simulator misuse (unknown nodes, missing processes, ...)."""
+
+
+class _SimContext:
+    """The :class:`ProcessContext` handed to processes by the simulator."""
+
+    __slots__ = ("_sim", "node_id")
+
+    def __init__(self, sim: "Simulator", node_id: NodeId) -> None:
+        self._sim = sim
+        self.node_id = node_id
+
+    @property
+    def graph(self) -> KnowledgeGraph:
+        return self._sim.graph
+
+    def now(self) -> float:
+        return self._sim.now
+
+    def send(self, target: NodeId, message: Any) -> None:
+        self._sim._send(self.node_id, target, message)
+
+    def multicast(self, targets: Iterable[NodeId], message: Any) -> None:
+        # The paper's best-effort multicast: a plain loop of sends.
+        for target in targets:
+            self._sim._send(self.node_id, target, message)
+
+    def monitor_crash(self, targets: Iterable[NodeId]) -> None:
+        self._sim._monitor(self.node_id, targets)
+
+    def set_timer(self, delay: float, tag: Any = None) -> None:
+        self._sim._set_timer(self.node_id, delay, tag)
+
+    def record(
+        self,
+        kind: EventKind,
+        payload: Any = None,
+        peer: NodeId | None = None,
+        **detail: Any,
+    ) -> None:
+        self._sim.trace.emit(
+            self._sim.now, kind, node=self.node_id, peer=peer, payload=payload, **detail
+        )
+
+
+class Simulator:
+    """Discrete-event execution of processes on a knowledge graph.
+
+    Parameters
+    ----------
+    graph:
+        The static knowledge graph ``G``.
+    latency:
+        Latency model for point-to-point messages.
+    failure_detector:
+        Notification-delay policy of the perfect failure detector.
+    seed:
+        Seed for all randomness (latency jitter, detector jitter).
+    trace:
+        Optional pre-existing recorder; a fresh one is created otherwise.
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        latency: LatencyModel | None = None,
+        failure_detector: FailureDetectorPolicy | None = None,
+        seed: int = 0,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self.graph = graph
+        self.latency = latency if latency is not None else ConstantLatency(1.0)
+        self.failure_detector = (
+            failure_detector if failure_detector is not None else PerfectFailureDetector(1.0)
+        )
+        self.trace = trace if trace is not None else TraceRecorder()
+        self._rng = random.Random(seed)
+        self._scheduler = EventScheduler()
+        self._processes: dict[NodeId, Process] = {}
+        self._contexts: dict[NodeId, _SimContext] = {}
+        self._crashed: set[NodeId] = set()
+        self._crash_times: dict[NodeId, float] = {}
+        self._subscriptions: dict[NodeId, set[NodeId]] = {}
+        self._notification_scheduled: set[tuple[NodeId, NodeId]] = set()
+        self._channel_clock: dict[tuple[NodeId, NodeId], float] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def add_process(self, node_id: NodeId, process: Process) -> None:
+        """Install the behaviour of one node."""
+        if node_id not in self.graph:
+            raise SimulationError(f"node {node_id!r} is not in the graph")
+        if self._started:
+            raise SimulationError("cannot add processes after start()")
+        self._processes[node_id] = process
+        self._contexts[node_id] = _SimContext(self, node_id)
+
+    def populate(self, factory: Callable[[NodeId], Process]) -> None:
+        """Install ``factory(node)`` on every graph node lacking a process."""
+        for node in self.graph.nodes:
+            if node not in self._processes:
+                self.add_process(node, factory(node))
+
+    def process(self, node_id: NodeId) -> Process:
+        """The process installed at ``node_id`` (for inspection in tests)."""
+        try:
+            return self._processes[node_id]
+        except KeyError:
+            raise SimulationError(f"no process installed at {node_id!r}") from None
+
+    def schedule_crash(self, node: NodeId, time: float) -> None:
+        """Crash ``node`` at absolute simulated time ``time``."""
+        if node not in self.graph:
+            raise SimulationError(f"node {node!r} is not in the graph")
+        self._scheduler.schedule_at(time, lambda: self._crash(node))
+
+    def schedule_crashes(self, crashes: Iterable[tuple[NodeId, float]]) -> None:
+        """Schedule many ``(node, time)`` crashes."""
+        for node, time in crashes:
+            self.schedule_crash(node, time)
+
+    def schedule_call(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule an arbitrary callback (used by scenario scripts)."""
+        self._scheduler.schedule_at(time, callback)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._scheduler.now
+
+    @property
+    def crashed_nodes(self) -> frozenset[NodeId]:
+        """Nodes that have crashed so far."""
+        return frozenset(self._crashed)
+
+    def is_crashed(self, node: NodeId) -> bool:
+        return node in self._crashed
+
+    def crash_time(self, node: NodeId) -> Optional[float]:
+        """When ``node`` crashed, or ``None`` if it has not."""
+        return self._crash_times.get(node)
+
+    def start(self) -> None:
+        """Deliver the ``init`` event to every process at time 0."""
+        if self._started:
+            raise SimulationError("start() called twice")
+        missing = self.graph.nodes - self._processes.keys()
+        if missing:
+            raise SimulationError(
+                f"{len(missing)} graph nodes have no process installed; "
+                "call populate() or add_process() for every node"
+            )
+        self._started = True
+        for node in sorted(self._processes, key=repr):
+            context = self._contexts[node]
+            self.trace.emit(self.now, EventKind.NODE_STARTED, node=node)
+            self._processes[node].on_start(context)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> float:
+        """Run the simulation; starts it first if necessary.
+
+        Returns the simulated time at which the run stopped (queue drained,
+        ``until`` reached, or ``max_events`` executed).
+        """
+        if not self._started:
+            self.start()
+        return self._scheduler.run(until=until, max_events=max_events)
+
+    def is_quiescent(self) -> bool:
+        """True when no further event can occur."""
+        return self._scheduler.is_idle()
+
+    @property
+    def processed_events(self) -> int:
+        return self._scheduler.processed_events
+
+    # ------------------------------------------------------------------
+    # Internal mechanics
+    # ------------------------------------------------------------------
+    def _send(self, source: NodeId, target: NodeId, message: Any) -> None:
+        if target not in self.graph:
+            raise SimulationError(f"message addressed to unknown node {target!r}")
+        if source in self._crashed:
+            # A crashed node cannot send; this only happens if a handler
+            # crashed its own node mid-event, which the model forbids.
+            return
+        self.trace.emit(
+            self.now, EventKind.MESSAGE_SENT, node=source, peer=target, payload=message
+        )
+        delay = self.latency.sample(source, target, self._rng)
+        if delay <= 0:
+            raise SimulationError("latency model produced a non-positive delay")
+        channel = (source, target)
+        earliest = self._channel_clock.get(channel, 0.0) + _FIFO_EPSILON
+        delivery_time = max(self.now + delay, earliest)
+        self._channel_clock[channel] = delivery_time
+        self._scheduler.schedule_at(
+            delivery_time, lambda: self._deliver(source, target, message)
+        )
+
+    def _deliver(self, source: NodeId, target: NodeId, message: Any) -> None:
+        if target in self._crashed:
+            self.trace.emit(
+                self.now,
+                EventKind.MESSAGE_DROPPED,
+                node=target,
+                peer=source,
+                payload=message,
+            )
+            return
+        self.trace.emit(
+            self.now,
+            EventKind.MESSAGE_DELIVERED,
+            node=target,
+            peer=source,
+            payload=message,
+        )
+        self._processes[target].on_message(self._contexts[target], source, message)
+
+    def _monitor(self, subscriber: NodeId, targets: Iterable[NodeId]) -> None:
+        target_list = [t for t in targets]
+        for target in target_list:
+            if target not in self.graph:
+                raise SimulationError(f"cannot monitor unknown node {target!r}")
+        if not target_list:
+            return
+        self.trace.emit(
+            self.now,
+            EventKind.CRASH_MONITORED,
+            node=subscriber,
+            payload=tuple(sorted(map(repr, target_list))),
+        )
+        for target in target_list:
+            self._subscriptions.setdefault(target, set()).add(subscriber)
+            if target in self._crashed:
+                self._schedule_notification(subscriber, target)
+
+    def _schedule_notification(self, subscriber: NodeId, crashed: NodeId) -> None:
+        key = (subscriber, crashed)
+        if key in self._notification_scheduled:
+            return
+        self._notification_scheduled.add(key)
+        delay = self.failure_detector.delay(subscriber, crashed, self._rng)
+        if delay < 0:
+            raise SimulationError("failure detector produced a negative delay")
+        self._scheduler.schedule(
+            delay, lambda: self._notify_crash(subscriber, crashed)
+        )
+
+    def _notify_crash(self, subscriber: NodeId, crashed: NodeId) -> None:
+        if subscriber in self._crashed:
+            return
+        self.trace.emit(
+            self.now, EventKind.CRASH_NOTIFIED, node=subscriber, peer=crashed
+        )
+        self._processes[subscriber].on_crash(self._contexts[subscriber], crashed)
+
+    def _set_timer(self, node: NodeId, delay: float, tag: Any) -> None:
+        if delay < 0:
+            raise SimulationError("timer delay must be non-negative")
+        self._scheduler.schedule(delay, lambda: self._fire_timer(node, tag))
+
+    def _fire_timer(self, node: NodeId, tag: Any) -> None:
+        if node in self._crashed:
+            return
+        self._processes[node].on_timer(self._contexts[node], tag)
+
+    def _crash(self, node: NodeId) -> None:
+        if node in self._crashed:
+            return
+        self._crashed.add(node)
+        self._crash_times[node] = self.now
+        self.trace.emit(self.now, EventKind.NODE_CRASHED, node=node)
+        for subscriber in sorted(self._subscriptions.get(node, ()), key=repr):
+            if subscriber not in self._crashed:
+                self._schedule_notification(subscriber, node)

@@ -1,0 +1,136 @@
+"""Deterministic discrete-event scheduler.
+
+A tiny future-event-list scheduler: callbacks are executed in increasing
+timestamp order, ties broken by insertion order, so a run is a pure
+function of (topology, processes, crash schedule, latency model, seed).
+Determinism is what makes the hypothesis-based property tests and the
+EXPERIMENTS.md numbers reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class SchedulerError(RuntimeError):
+    """Raised on scheduler misuse (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _ScheduledEntry:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventScheduler.schedule`; supports cancel."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _ScheduledEntry) -> None:
+        self._entry = entry
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self._entry.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+
+class EventScheduler:
+    """A future event list processed in timestamp order."""
+
+    def __init__(self) -> None:
+        self._queue: list[_ScheduledEntry] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled, not-yet-executed, not-cancelled callbacks."""
+        return sum(1 for entry in self._queue if not entry.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SchedulerError(f"cannot schedule in the past (delay={delay})")
+        entry = _ScheduledEntry(self._now + delay, next(self._sequence), callback)
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise SchedulerError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        entry = _ScheduledEntry(time, next(self._sequence), callback)
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry)
+
+    def step(self) -> bool:
+        """Execute the next pending callback.  Returns False when empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            self._processed += 1
+            entry.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run until the queue drains, ``until`` is reached, or the budget ends.
+
+        Returns the simulated time when the loop stopped.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            next_entry = self._peek()
+            if next_entry is None:
+                break
+            if until is not None and next_entry.time > until:
+                self._now = until
+                break
+            if not self.step():
+                break
+            executed += 1
+        return self._now
+
+    def _peek(self) -> Optional[_ScheduledEntry]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    def is_idle(self) -> bool:
+        """True when no non-cancelled events remain."""
+        return self._peek() is None

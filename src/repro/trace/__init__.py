@@ -1,0 +1,12 @@
+"""Trace recording and metrics extraction."""
+
+from .metrics import RunMetrics, collect_metrics, communicating_nodes, message_pairs
+from .recorder import TraceRecorder
+
+__all__ = [
+    "TraceRecorder",
+    "RunMetrics",
+    "collect_metrics",
+    "communicating_nodes",
+    "message_pairs",
+]

@@ -1,0 +1,137 @@
+"""Run metrics derived from traces.
+
+The locality claims of the paper (CD3 and the "local complexity" headline)
+are about *costs*: how many messages are exchanged, how many bytes, how
+many nodes ever speak, how long until decisions land.  This module turns a
+:class:`~repro.trace.recorder.TraceRecorder` into those numbers, which the
+experiments print and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..graph import NodeId
+from ..sim.events import EventKind, payload_size
+from .recorder import TraceRecorder
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Aggregate cost and outcome metrics of a single run."""
+
+    #: Total point-to-point messages handed to the network.
+    messages_sent: int
+    #: Total messages delivered (sent minus drops to crashed nodes).
+    messages_delivered: int
+    #: Estimated bytes across all sent messages.
+    bytes_sent: int
+    #: Nodes that sent at least one message.
+    speaking_nodes: int
+    #: Nodes that received at least one crash notification.
+    notified_nodes: int
+    #: Number of DECIDED events.
+    decisions: int
+    #: Number of distinct deciding nodes.
+    deciding_nodes: int
+    #: Number of distinct decided views.
+    decided_views: int
+    #: Number of VIEW_PROPOSED events.
+    proposals: int
+    #: Number of VIEW_REJECTED events.
+    rejections: int
+    #: Number of failed consensus attempts (INSTANCE_FAILED events).
+    failed_instances: int
+    #: Simulated time of the first decision (None when nobody decided).
+    first_decision_time: Optional[float]
+    #: Simulated time of the last decision (None when nobody decided).
+    last_decision_time: Optional[float]
+    #: Simulated time of the last event of the run.
+    end_time: float
+    #: Messages sent per node (only nodes that sent anything).
+    per_node_messages: dict[NodeId, int] = field(default_factory=dict)
+
+    @property
+    def max_messages_per_node(self) -> int:
+        """The busiest node's message count (0 when nobody spoke)."""
+        return max(self.per_node_messages.values(), default=0)
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dictionary used by the experiment table printers."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "bytes_sent": self.bytes_sent,
+            "speaking_nodes": self.speaking_nodes,
+            "notified_nodes": self.notified_nodes,
+            "decisions": self.decisions,
+            "deciding_nodes": self.deciding_nodes,
+            "decided_views": self.decided_views,
+            "proposals": self.proposals,
+            "rejections": self.rejections,
+            "failed_instances": self.failed_instances,
+            "first_decision_time": self.first_decision_time,
+            "last_decision_time": self.last_decision_time,
+            "end_time": self.end_time,
+            "max_messages_per_node": self.max_messages_per_node,
+        }
+
+
+def collect_metrics(trace: TraceRecorder) -> RunMetrics:
+    """Compute :class:`RunMetrics` from a finished trace."""
+    sent = trace.of_kind(EventKind.MESSAGE_SENT)
+    delivered = trace.of_kind(EventKind.MESSAGE_DELIVERED)
+    decisions = trace.decisions()
+    proposals = trace.of_kind(EventKind.VIEW_PROPOSED)
+    rejections = trace.of_kind(EventKind.VIEW_REJECTED)
+    failures = trace.of_kind(EventKind.INSTANCE_FAILED)
+    notifications = trace.of_kind(EventKind.CRASH_NOTIFIED)
+
+    per_node = Counter(event.node for event in sent if event.node is not None)
+    deciding_nodes = {event.node for event in decisions}
+    decided_views = {event.payload for event in decisions}
+    decision_times = [event.time for event in decisions]
+
+    return RunMetrics(
+        messages_sent=len(sent),
+        messages_delivered=len(delivered),
+        bytes_sent=sum(payload_size(event.payload) for event in sent),
+        speaking_nodes=len(per_node),
+        notified_nodes=len({event.node for event in notifications}),
+        decisions=len(decisions),
+        deciding_nodes=len(deciding_nodes),
+        decided_views=len(decided_views),
+        proposals=len(proposals),
+        rejections=len(rejections),
+        failed_instances=len(failures),
+        first_decision_time=min(decision_times) if decision_times else None,
+        last_decision_time=max(decision_times) if decision_times else None,
+        end_time=trace.end_time(),
+        per_node_messages=dict(per_node),
+    )
+
+
+def communicating_nodes(trace: TraceRecorder) -> frozenset[NodeId]:
+    """All nodes that sent or received a protocol message.
+
+    The locality property CD3 bounds exactly this set: it must stay inside
+    the union of faulty domains and their borders.
+    """
+    nodes: set[NodeId] = set()
+    for event in trace.of_kind(EventKind.MESSAGE_SENT, EventKind.MESSAGE_DELIVERED):
+        if event.node is not None:
+            nodes.add(event.node)
+        if event.peer is not None:
+            nodes.add(event.peer)
+    return frozenset(nodes)
+
+
+def message_pairs(trace: TraceRecorder) -> frozenset[tuple[NodeId, NodeId]]:
+    """All (sender, receiver) pairs that exchanged at least one message."""
+    pairs: set[tuple[NodeId, NodeId]] = set()
+    for event in trace.of_kind(EventKind.MESSAGE_SENT):
+        if event.node is not None and event.peer is not None:
+            pairs.add((event.node, event.peer))
+    return frozenset(pairs)

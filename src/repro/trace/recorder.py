@@ -1,0 +1,124 @@
+"""Trace recording.
+
+A :class:`TraceRecorder` accumulates the :class:`~repro.sim.events.TraceEvent`
+records produced by a run.  Both runtimes (the discrete-event simulator and
+the asyncio runtime) write into the same structure, so property checkers
+and metrics never need to know where a trace came from.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+from typing import Any, Optional
+
+from ..graph import NodeId
+from ..sim.events import EventKind, TraceEvent
+
+
+class TraceRecorder:
+    """An append-only log of trace events with simple query helpers."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+        self._listeners: list[Callable[[TraceEvent], None]] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, event: TraceEvent) -> None:
+        """Append one event and notify listeners."""
+        self._events.append(event)
+        for listener in self._listeners:
+            listener(event)
+
+    def emit(
+        self,
+        time: float,
+        kind: EventKind,
+        node: Optional[NodeId] = None,
+        peer: Optional[NodeId] = None,
+        payload: Any = None,
+        **detail: Any,
+    ) -> TraceEvent:
+        """Build and record an event in one call; returns the event."""
+        event = TraceEvent(
+            time=time, kind=kind, node=node, peer=peer, payload=payload, detail=detail
+        )
+        self.record(event)
+        return event
+
+    def add_listener(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Register a callback invoked on every future event (live metrics)."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        """All events recorded so far, in order."""
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def of_kind(self, *kinds: EventKind) -> list[TraceEvent]:
+        """Events whose kind is one of ``kinds``."""
+        wanted = set(kinds)
+        return [event for event in self._events if event.kind in wanted]
+
+    def at_node(self, node: NodeId) -> list[TraceEvent]:
+        """Events attributed to ``node``."""
+        return [event for event in self._events if event.node == node]
+
+    def decisions(self) -> list[TraceEvent]:
+        """All DECIDED events."""
+        return self.of_kind(EventKind.DECIDED)
+
+    def crashes(self) -> list[TraceEvent]:
+        """All NODE_CRASHED events."""
+        return self.of_kind(EventKind.NODE_CRASHED)
+
+    def crashed_nodes(self) -> frozenset[NodeId]:
+        """The set of nodes that crashed during the run."""
+        return frozenset(event.node for event in self.crashes() if event.node is not None)
+
+    def messages_sent(self) -> list[TraceEvent]:
+        return self.of_kind(EventKind.MESSAGE_SENT)
+
+    def messages_delivered(self) -> list[TraceEvent]:
+        return self.of_kind(EventKind.MESSAGE_DELIVERED)
+
+    def first(self, kind: EventKind) -> Optional[TraceEvent]:
+        """The earliest event of ``kind`` or ``None``."""
+        for event in self._events:
+            if event.kind == kind:
+                return event
+        return None
+
+    def last(self, kind: EventKind) -> Optional[TraceEvent]:
+        """The latest event of ``kind`` or ``None``."""
+        for event in reversed(self._events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def end_time(self) -> float:
+        """Timestamp of the last recorded event (0.0 for an empty trace)."""
+        return self._events[-1].time if self._events else 0.0
+
+    def filter(self, predicate: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
+        """Events matching an arbitrary predicate."""
+        return [event for event in self._events if predicate(event)]
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        """Append many events (used when merging per-node asyncio logs)."""
+        for event in events:
+            self.record(event)
+
+    def to_lines(self) -> list[str]:
+        """Human-readable rendering of the whole trace."""
+        return [event.describe() for event in self._events]

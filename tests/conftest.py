@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import KnowledgeGraph, Region
+from repro.graph.generators import grid, torus
+from repro.failures import region_crash
+
+
+@pytest.fixture
+def small_grid() -> KnowledgeGraph:
+    """A 6x6 grid (36 nodes) used by many scenario tests."""
+    return grid(6, 6)
+
+
+@pytest.fixture
+def small_torus() -> KnowledgeGraph:
+    """An 8x8 torus: every node has degree 4."""
+    return torus(8, 8)
+
+
+@pytest.fixture
+def line_graph() -> KnowledgeGraph:
+    """a - b - c - d - e path graph with string node ids."""
+    return KnowledgeGraph([("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")])
+
+
+@pytest.fixture
+def diamond_graph() -> KnowledgeGraph:
+    """A small graph with a central crashed candidate and four neighbours.
+
+        n1 - c1 - n2
+         |    |    |
+        n3 - c2 - n4
+    """
+    return KnowledgeGraph(
+        [
+            ("n1", "c1"),
+            ("c1", "n2"),
+            ("n1", "n3"),
+            ("c1", "c2"),
+            ("n2", "n4"),
+            ("n3", "c2"),
+            ("c2", "n4"),
+        ]
+    )
+
+
+@pytest.fixture
+def grid_block_schedule(small_grid):
+    """The quickstart schedule: a 2x2 block crashes in the 6x6 grid."""
+    block = [(2, 2), (2, 3), (3, 2), (3, 3)]
+    return region_crash(small_grid, block, at=1.0), frozenset(block)
+
+
+@pytest.fixture
+def block_region(small_grid) -> Region:
+    """The 2x2 block of the quickstart as a Region."""
+    return Region.of(small_grid, [(2, 2), (2, 3), (3, 2), (3, 3)])

@@ -1,0 +1,78 @@
+"""Integration tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class _Capture:
+    def __init__(self):
+        self.lines: list[str] = []
+
+    def __call__(self, text: str) -> None:
+        self.lines.append(str(text))
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self.lines)
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_seed_is_global(self):
+        args = build_parser().parse_args(["--seed", "7", "quickstart"])
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_quickstart(self):
+        out = _Capture()
+        code = main(["quickstart", "--side", "6", "--block", "2"], write=out)
+        assert code == 0
+        assert "decided by" in out.text
+        assert "[OK ] CD1 Integrity" in out.text
+
+    def test_figure_1a(self):
+        out = _Capture()
+        assert main(["figure", "1a"], write=out) == 0
+        assert "decided by" in out.text
+
+    def test_figure_1b(self):
+        out = _Capture()
+        assert main(["figure", "1b"], write=out) == 0
+        assert "converged on F3: True" in out.text
+
+    def test_figure_2(self):
+        out = _Capture()
+        assert main(["figure", "2"], write=out) == 0
+        assert "cluster has a decision (CD7): True" in out.text
+
+    def test_figure_3(self):
+        out = _Capture()
+        assert main(["figure", "3"], write=out) == 0
+        assert "no conflicting decision (CD6): True" in out.text
+
+    def test_repair(self):
+        out = _Capture()
+        assert main(["repair", "--ring-size", "16", "--arc-length", "2"], write=out) == 0
+        assert "ring restored=True" in out.text
+
+    def test_sweep(self):
+        out = _Capture()
+        assert main(["sweep", "--cases", "3"], write=out) == 0
+        assert "all hold: True" in out.text
+
+    def test_locality_quick(self):
+        out = _Capture()
+        assert main(["locality"], write=out) == 0
+        assert "flat across system sizes: True" in out.text
+        assert "EXP-L2" in out.text

@@ -1,0 +1,266 @@
+"""End-to-end protocol runs on assorted topologies, checked against CD1–CD7."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CliffEdgeNode,
+    Region,
+    cascade_crash,
+    multi_region_crash,
+    region_crash,
+    run_cliff_edge,
+)
+from repro.graph.generators import (
+    clustered_communities,
+    grid,
+    random_geometric,
+    ring,
+    torus,
+    watts_strogatz,
+)
+from repro.sim import JitteredFailureDetector, UniformLatency
+from repro.trace import communicating_nodes
+
+
+class TestGridBlockScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        graph = grid(6, 6)
+        block = [(2, 2), (2, 3), (3, 2), (3, 3)]
+        return run_cliff_edge(graph, region_crash(graph, block, at=1.0), check=True)
+
+    def test_specification_holds(self, result):
+        assert result.specification.holds, result.specification.summary()
+
+    def test_single_view_decided(self, result):
+        assert result.decided_views == {
+            Region(frozenset({(2, 2), (2, 3), (3, 2), (3, 3)}))
+        }
+
+    def test_all_border_nodes_decide(self, result):
+        border = result.graph.border({(2, 2), (2, 3), (3, 2), (3, 3)})
+        assert result.deciding_nodes == border
+
+    def test_same_decision_value_everywhere(self, result):
+        values = {repr(decision.value) for decision in result.decisions}
+        assert len(values) == 1
+
+    def test_communication_confined_to_region_and_border(self, result):
+        """CD3: traffic stays within the faulty domain and its border.
+
+        Senders are always border nodes; recipients may also be crashed
+        members (early proposals are addressed to border nodes of partial
+        views, which can include not-yet-detected crashed nodes — those
+        deliveries are dropped by the network).
+        """
+        block = {(2, 2), (2, 3), (3, 2), (3, 3)}
+        border = result.graph.border(block)
+        assert communicating_nodes(result.trace) <= border | block
+        senders = {node for node, _ in result.metrics.per_node_messages.items()}
+        assert senders <= border
+
+    def test_run_is_quiescent(self, result):
+        assert result.simulator.is_quiescent()
+
+    def test_summary_mentions_view(self, result):
+        assert "decided by" in result.summary()
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        graph = torus(8, 8)
+        schedule = region_crash(graph, [(1, 1), (1, 2), (2, 1)], at=1.0, spread=2.0)
+
+        def run():
+            result = run_cliff_edge(
+                graph,
+                schedule,
+                latency=UniformLatency(0.5, 2.0),
+                failure_detector=JitteredFailureDetector(0.5, 2.0),
+                seed=123,
+            )
+            return [
+                (event.time, event.kind, repr(event.node), repr(event.peer))
+                for event in result.trace.events
+            ]
+
+        assert run() == run()
+
+    def test_different_seeds_still_agree(self):
+        """Simultaneous crash: every seed converges on the full region.
+
+        (With a simultaneous crash a strict sub-region can never be decided,
+        because its border contains crashed nodes whose accept can never be
+        gathered.)
+        """
+        graph = torus(8, 8)
+        schedule = region_crash(graph, [(1, 1), (1, 2), (2, 1)], at=1.0, spread=0.0)
+        views = set()
+        for seed in range(4):
+            result = run_cliff_edge(
+                graph,
+                schedule,
+                latency=UniformLatency(0.5, 2.0),
+                failure_detector=JitteredFailureDetector(0.5, 2.0),
+                seed=seed,
+                check=True,
+            )
+            assert result.specification.holds
+            views.update(result.decided_views)
+        assert views == {Region(frozenset({(1, 1), (1, 2), (2, 1)}))}
+
+    def test_staggered_crash_may_settle_on_an_early_subregion(self):
+        """With slow (staggered) crashes an early sub-region can be agreed
+        before the region finishes growing; the specification still holds
+        (decisions are final, CD6 prevents any conflicting later decision).
+        """
+        graph = torus(8, 8)
+        schedule = region_crash(graph, [(1, 1), (1, 2), (2, 1)], at=1.0, spread=2.0)
+        for seed in range(4):
+            result = run_cliff_edge(
+                graph,
+                schedule,
+                latency=UniformLatency(0.5, 2.0),
+                failure_detector=JitteredFailureDetector(0.5, 2.0),
+                seed=seed,
+                check=True,
+            )
+            assert result.specification.holds
+            assert len(result.decided_views) >= 1
+            for view in result.decided_views:
+                assert view.members <= schedule.nodes
+
+
+class TestAssortedTopologies:
+    @pytest.mark.parametrize(
+        "name,graph,members",
+        [
+            ("ring", ring(20, successors=2), [5, 6, 7]),
+            ("smallworld", watts_strogatz(40, 4, 0.2, seed=3), [10]),
+            ("geometric", random_geometric(40, 0.3, seed=5), [7]),
+            (
+                "communities",
+                clustered_communities(3, 6, seed=2),
+                [(1, 0), (1, 1), (1, 2)],
+            ),
+        ],
+    )
+    def test_specification_holds(self, name, graph, members):
+        if not graph.is_connected_subset(members):
+            pytest.skip(f"{name}: sampled members not connected for this seed")
+        schedule = region_crash(graph, members, at=1.0, spread=1.0)
+        result = run_cliff_edge(
+            graph,
+            schedule,
+            failure_detector=JitteredFailureDetector(0.5, 2.0),
+            check=True,
+        )
+        assert result.specification.holds, result.specification.summary()
+        assert result.metrics.decisions > 0
+
+    def test_two_disjoint_regions_decided_independently(self):
+        graph = torus(10, 10)
+        schedule = multi_region_crash(
+            graph, [[(1, 1), (1, 2)], [(6, 6), (6, 7), (7, 6)]], at=1.0
+        )
+        result = run_cliff_edge(graph, schedule, check=True)
+        assert result.specification.holds
+        assert len(result.decided_views) == 2
+        members = {frozenset(view.members) for view in result.decided_views}
+        assert members == {
+            frozenset({(1, 1), (1, 2)}),
+            frozenset({(6, 6), (6, 7), (7, 6)}),
+        }
+
+    def test_cascade_converges_to_full_region(self):
+        graph = torus(9, 9)
+        schedule = cascade_crash(graph, (4, 4), 5, start=1.0, spacing=2.0)
+        result = run_cliff_edge(
+            graph,
+            schedule,
+            failure_detector=JitteredFailureDetector(0.5, 1.5),
+            check=True,
+        )
+        assert result.specification.holds
+        # The final agreed view covers the whole cascade (possibly after
+        # earlier smaller agreements failed and were retried).
+        assert Region(frozenset(schedule.nodes)) in result.decided_views
+
+    def test_single_node_crash(self):
+        graph = grid(5, 5)
+        schedule = region_crash(graph, [(2, 2)], at=1.0)
+        result = run_cliff_edge(graph, schedule, check=True)
+        assert result.specification.holds
+        assert result.decided_views == {Region(frozenset({(2, 2)}))}
+        assert result.deciding_nodes == graph.border({(2, 2)})
+
+    def test_no_crash_no_activity(self):
+        from repro.failures import CrashSchedule
+
+        graph = grid(5, 5)
+        result = run_cliff_edge(graph, CrashSchedule(), check=True)
+        assert result.metrics.messages_sent == 0
+        assert result.metrics.decisions == 0
+        assert result.specification.holds
+
+    def test_corner_region_with_small_border(self):
+        graph = grid(6, 6)
+        schedule = region_crash(graph, [(0, 0), (0, 1), (1, 0), (1, 1)], at=1.0)
+        result = run_cliff_edge(graph, schedule, check=True)
+        assert result.specification.holds
+        assert result.deciding_nodes == graph.border(
+            {(0, 0), (0, 1), (1, 0), (1, 1)}
+        )
+
+    def test_single_border_node_region(self):
+        """A whole community crashes except its single bridge node."""
+        graph = grid(4, 4)
+        # Crash everything except (0, 0) and its neighbours' neighbours such
+        # that exactly one survivor borders the region: use a line instead.
+        line_graph = ring(6, successors=1)
+        schedule = region_crash(line_graph, [2, 3], at=1.0)
+        result = run_cliff_edge(line_graph, schedule, check=True)
+        assert result.specification.holds
+        assert result.deciding_nodes == {1, 4}
+
+
+class TestRunnerOptions:
+    def test_custom_node_factory(self):
+        graph = grid(5, 5)
+        schedule = region_crash(graph, [(2, 2)], at=1.0)
+        created = []
+
+        def factory(node_id):
+            node = CliffEdgeNode(node_id)
+            created.append(node_id)
+            return node
+
+        result = run_cliff_edge(graph, schedule, node_factory=factory, check=False)
+        assert len(created) == len(graph)
+        assert result.metrics.decisions == 4
+
+    def test_until_bound_stops_early(self):
+        graph = grid(6, 6)
+        schedule = region_crash(graph, [(2, 2), (2, 3)], at=1.0)
+        result = run_cliff_edge(graph, schedule, until=1.5, check=False)
+        assert not result.simulator.is_quiescent()
+        assert result.metrics.decisions == 0
+
+    def test_node_accessor_type_checked(self):
+        graph = grid(5, 5)
+        schedule = region_crash(graph, [(2, 2)], at=1.0)
+        result = run_cliff_edge(graph, schedule)
+        node = result.node((1, 2))
+        assert isinstance(node, CliffEdgeNode)
+        assert node.has_decided
+
+    def test_check_specification_cached(self):
+        graph = grid(5, 5)
+        schedule = region_crash(graph, [(2, 2)], at=1.0)
+        result = run_cliff_edge(graph, schedule, check=False)
+        assert result.specification is None
+        report = result.check_specification()
+        assert report is result.specification
+        assert report.holds

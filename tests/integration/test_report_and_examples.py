@@ -1,0 +1,98 @@
+"""Integration tests for the report generator and the example scripts."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import (
+    ReportSection,
+    _ablation_sections,
+    _fig1_section,
+    _fig2_section,
+    _fig3_section,
+    _repair_section,
+    render_report,
+)
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+class TestReportSections:
+    def test_fig1_section(self):
+        section = _fig1_section()
+        assert section.experiment_id == "FIG-1"
+        assert len(section.rows) == 2
+        assert any("converged on F3: True" in note for note in section.notes)
+
+    def test_fig2_section(self):
+        section = _fig2_section()
+        assert section.experiment_id == "FIG-2"
+        assert len(section.rows) == 4
+        assert any("CD7" in note for note in section.notes)
+
+    def test_fig3_section(self):
+        section = _fig3_section()
+        assert section.rows[0]["no_conflicting_decision"] is True
+
+    def test_repair_section_quick(self):
+        section = _repair_section(quick=True)
+        assert all(row["ring_restored"] for row in section.rows)
+
+    def test_ablation_sections(self):
+        a1, a2, a3 = _ablation_sections()
+        assert a1.experiment_id == "EXP-A1"
+        assert a2.experiment_id == "EXP-A2"
+        assert a3.experiment_id == "EXP-A3"
+        assert len(a2.rows) == 3
+        assert len(a3.rows) == 4
+
+    def test_render_report_plain_and_markdown(self):
+        section = ReportSection(
+            "EXP-X", "demo", rows=[{"a": 1, "b": True}], notes=["note"]
+        )
+        plain = render_report([section])
+        markdown = render_report([section], markdown=True)
+        assert "## EXP-X — demo" in plain
+        assert "* note" in plain
+        assert "| a | b |" in markdown
+
+    def test_render_empty_section(self):
+        section = ReportSection("EXP-Y", "empty")
+        assert "(no table)" in section.to_text()
+
+
+@pytest.mark.parametrize(
+    "script,expected",
+    [
+        ("quickstart.py", "specification (CD1-CD7)"),
+        ("conflicting_views.py", "all deciders converged on F3:   True"),
+        ("overlay_repair.py", "ring restored=True"),
+        ("asyncio_runtime.py", "both runtimes agreed on the same crashed region(s): True"),
+    ],
+)
+def test_example_scripts_run(script, expected):
+    """Each example runs as a standalone script and prints its conclusion."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert expected in result.stdout
+
+
+def test_locality_example_runs_quick():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "locality_scaling.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "message cost flat across system sizes: True" in result.stdout
+    assert "EXP-B1" in result.stdout

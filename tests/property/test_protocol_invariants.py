@@ -1,0 +1,163 @@
+"""Property-based tests of the protocol itself: CD1–CD7 on random scenarios.
+
+Each generated case is a small connected topology, a random connected
+crashed region, a random crash spacing and random failure-detection jitter;
+the run must satisfy the full specification and reach quiescence.  This is
+the empirical counterpart of the paper's Theorems 1–4.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.opinions import REJECT, Accept, OpinionVector
+from repro.failures import region_crash
+from repro.graph import Region
+from repro.sim import JitteredFailureDetector, UniformLatency
+from repro.experiments import run_cliff_edge
+
+from .test_graph_invariants import connected_graphs
+
+
+@st.composite
+def crash_scenarios(draw):
+    """A connected graph plus a connected crashed region strictly inside it."""
+    graph = draw(connected_graphs(min_nodes=4, max_nodes=12))
+    nodes = sorted(graph.nodes)
+    seed = draw(st.sampled_from(nodes))
+    max_size = max(1, len(nodes) // 2)
+    size = draw(st.integers(1, max_size))
+    members = {seed}
+    frontier = sorted(graph.neighbours(seed))
+    while frontier and len(members) < size:
+        index = draw(st.integers(0, len(frontier) - 1))
+        chosen = frontier.pop(index)
+        if chosen in members:
+            continue
+        members.add(chosen)
+        frontier.extend(sorted(graph.neighbours(chosen) - members))
+    spread = draw(st.floats(0.0, 6.0))
+    jitter_high = draw(st.floats(0.6, 3.0))
+    seed_value = draw(st.integers(0, 2**16))
+    return graph, frozenset(members), spread, jitter_high, seed_value
+
+
+class TestSpecificationOnRandomScenarios:
+    @given(crash_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_cd1_to_cd7_hold(self, scenario):
+        graph, members, spread, jitter_high, seed = scenario
+        schedule = region_crash(graph, members, at=1.0, spread=spread)
+        result = run_cliff_edge(
+            graph,
+            schedule,
+            latency=UniformLatency(0.5, 1.5),
+            failure_detector=JitteredFailureDetector(0.5, jitter_high),
+            seed=seed,
+            check=True,
+        )
+        assert result.simulator.is_quiescent()
+        assert result.specification.holds, result.specification.summary()
+
+    @given(crash_scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_decided_views_are_crashed_subsets(self, scenario):
+        graph, members, spread, jitter_high, seed = scenario
+        schedule = region_crash(graph, members, at=1.0, spread=spread)
+        result = run_cliff_edge(
+            graph,
+            schedule,
+            failure_detector=JitteredFailureDetector(0.5, jitter_high),
+            seed=seed,
+        )
+        for view in result.decided_views:
+            assert view.members <= members
+            assert graph.is_connected_subset(view.members)
+
+    @given(crash_scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_deciders_alive_at_decision_time_and_border_their_view(self, scenario):
+        """A decider may itself be faulty (crash later), but it must have
+        been alive when it decided, and it must border its decided view."""
+        graph, members, spread, jitter_high, seed = scenario
+        schedule = region_crash(graph, members, at=1.0, spread=spread)
+        crash_times = dict(schedule.crashes)
+        result = run_cliff_edge(
+            graph,
+            schedule,
+            failure_detector=JitteredFailureDetector(0.5, jitter_high),
+            seed=seed,
+        )
+        for decision in result.decisions:
+            if decision.node in crash_times:
+                assert decision.time <= crash_times[decision.node]
+            assert decision.node in graph.border(decision.view.members)
+
+    @given(crash_scenarios())
+    @settings(max_examples=20, deadline=None)
+    def test_simultaneous_crash_always_decides_full_region(self, scenario):
+        graph, members, _spread, jitter_high, seed = scenario
+        schedule = region_crash(graph, members, at=1.0, spread=0.0)
+        result = run_cliff_edge(
+            graph,
+            schedule,
+            failure_detector=JitteredFailureDetector(0.5, jitter_high),
+            seed=seed,
+        )
+        border = graph.border(members)
+        if border:
+            assert result.decided_views == {Region(members)}
+            assert result.deciding_nodes == border
+
+    @given(crash_scenarios())
+    @settings(max_examples=15, deadline=None)
+    def test_determinism(self, scenario):
+        graph, members, spread, jitter_high, seed = scenario
+        schedule = region_crash(graph, members, at=1.0, spread=spread)
+
+        def run_once():
+            result = run_cliff_edge(
+                graph,
+                schedule,
+                latency=UniformLatency(0.5, 1.5),
+                failure_detector=JitteredFailureDetector(0.5, jitter_high),
+                seed=seed,
+            )
+            return [
+                (event.time, event.kind, repr(event.node), repr(event.peer))
+                for event in result.trace.events
+            ]
+
+        assert run_once() == run_once()
+
+
+class TestOpinionVectorInvariants:
+    @given(
+        st.lists(st.integers(0, 8), min_size=1, max_size=8, unique=True),
+        st.lists(st.integers(0, 8), max_size=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_never_overwrites(self, members, updates):
+        vector = OpinionVector(members)
+        first_writes = {}
+        for index, node in enumerate(updates):
+            if node not in vector.members:
+                continue
+            opinion = Accept(index) if index % 2 == 0 else REJECT
+            vector.merge({node: opinion})
+            first_writes.setdefault(node, opinion)
+        for node, opinion in first_writes.items():
+            assert vector[node] == opinion
+
+    @given(st.lists(st.integers(0, 8), min_size=1, max_size=8, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_of_members(self, members):
+        vector = OpinionVector(members)
+        for index, node in enumerate(members):
+            if index % 3 == 0:
+                vector.set(node, Accept(index))
+            elif index % 3 == 1:
+                vector.set(node, REJECT)
+        combined = vector.accepters() | vector.rejectors() | vector.unknown()
+        assert combined == frozenset(members)
+        assert vector.all_accept() == (len(vector.accepters()) == len(members))

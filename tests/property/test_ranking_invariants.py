@@ -1,0 +1,99 @@
+"""Property-based tests: the canonical ranking is a strict total order that
+subsumes set inclusion (the two facts the correctness proofs rely on)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import CanonicalRanking, KnowledgeGraph, Region
+
+from .test_graph_invariants import connected_graphs
+
+
+RANKING = CanonicalRanking()
+
+
+@st.composite
+def graph_and_regions(draw, count=3):
+    """A connected graph plus up to ``count`` non-empty connected regions."""
+    graph = draw(connected_graphs(min_nodes=3, max_nodes=12))
+    nodes = sorted(graph.nodes)
+    regions = []
+    for _ in range(count):
+        seed = draw(st.sampled_from(nodes))
+        size = draw(st.integers(1, min(5, len(nodes))))
+        members = {seed}
+        frontier = sorted(graph.neighbours(seed))
+        while frontier and len(members) < size:
+            index = draw(st.integers(0, len(frontier) - 1))
+            chosen = frontier.pop(index)
+            if chosen in members:
+                continue
+            members.add(chosen)
+            frontier.extend(sorted(graph.neighbours(chosen) - members))
+        regions.append(Region(frozenset(members)))
+    return graph, regions
+
+
+class TestStrictTotalOrder:
+    @given(graph_and_regions(count=1))
+    @settings(max_examples=60, deadline=None)
+    def test_irreflexive(self, data):
+        graph, (region, *_rest) = data[0], data[1]
+        assert not RANKING.precedes(graph, region, region)
+
+    @given(graph_and_regions(count=2))
+    @settings(max_examples=80, deadline=None)
+    def test_antisymmetric_and_total(self, data):
+        graph, regions = data
+        first, second = regions[0], regions[1]
+        forwards = RANKING.precedes(graph, first, second)
+        backwards = RANKING.precedes(graph, second, first)
+        if first == second:
+            assert not forwards and not backwards
+        else:
+            # exactly one direction holds: total and antisymmetric
+            assert forwards != backwards
+
+    @given(graph_and_regions(count=3))
+    @settings(max_examples=80, deadline=None)
+    def test_transitive(self, data):
+        graph, regions = data
+        a, b, c = regions
+        if RANKING.precedes(graph, a, b) and RANKING.precedes(graph, b, c):
+            assert RANKING.precedes(graph, a, c)
+
+    @given(graph_and_regions(count=3))
+    @settings(max_examples=60, deadline=None)
+    def test_key_consistent_with_precedes(self, data):
+        graph, regions = data
+        for first in regions:
+            for second in regions:
+                if first == second:
+                    continue
+                assert RANKING.precedes(graph, first, second) == (
+                    RANKING.key(graph, first) < RANKING.key(graph, second)
+                )
+
+    @given(graph_and_regions(count=3))
+    @settings(max_examples=60, deadline=None)
+    def test_max_ranked_is_maximum(self, data):
+        graph, regions = data
+        best = RANKING.max_ranked(graph, regions)
+        for region in regions:
+            if region != best:
+                assert not RANKING.precedes(graph, best, region)
+
+
+class TestSubsumesInclusion:
+    @given(graph_and_regions(count=1))
+    @settings(max_examples=80, deadline=None)
+    def test_strict_superset_outranks(self, data):
+        """Theorem 4 relies on ``V ⊂ W  =>  V ≺ W``."""
+        graph, (region,) = data
+        border = region.border(graph)
+        if not border:
+            return
+        grown = Region(region.members | {sorted(border, key=repr)[0]})
+        assert RANKING.precedes(graph, region, grown)
+        assert not RANKING.precedes(graph, grown, region)

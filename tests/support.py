@@ -1,0 +1,89 @@
+"""Test support utilities shared across unit, integration and property tests."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.graph import KnowledgeGraph, NodeId
+from repro.sim.events import EventKind, TraceEvent
+
+
+class FakeContext:
+    """A hand-driven :class:`~repro.sim.process.ProcessContext`.
+
+    Used by the protocol unit tests to feed events to a single
+    :class:`~repro.core.protocol.CliffEdgeNode` and observe exactly what it
+    sends, monitors and records — without any simulator in the loop.
+    """
+
+    def __init__(self, graph: KnowledgeGraph, node_id: NodeId, time: float = 0.0) -> None:
+        self.graph = graph
+        self.node_id = node_id
+        self.time = time
+        #: every point-to-point send as (target, message)
+        self.sent: list[tuple[NodeId, Any]] = []
+        #: every multicast as (tuple-of-targets, message)
+        self.multicasts: list[tuple[tuple[NodeId, ...], Any]] = []
+        #: union of all monitored nodes
+        self.monitored: set[NodeId] = set()
+        #: (delay, tag) pairs of requested timers
+        self.timers: list[tuple[float, Any]] = []
+        #: protocol-level trace events recorded by the process
+        self.records: list[TraceEvent] = []
+
+    # -- ProcessContext API -------------------------------------------------
+    def now(self) -> float:
+        return self.time
+
+    def send(self, target: NodeId, message: Any) -> None:
+        self.sent.append((target, message))
+
+    def multicast(self, targets, message: Any) -> None:
+        target_tuple = tuple(targets)
+        self.multicasts.append((target_tuple, message))
+        for target in target_tuple:
+            self.sent.append((target, message))
+
+    def monitor_crash(self, targets) -> None:
+        self.monitored.update(targets)
+
+    def set_timer(self, delay: float, tag: Any = None) -> None:
+        self.timers.append((delay, tag))
+
+    def record(self, kind: EventKind, payload=None, peer=None, **detail) -> None:
+        self.records.append(
+            TraceEvent(
+                time=self.time,
+                kind=kind,
+                node=self.node_id,
+                peer=peer,
+                payload=payload,
+                detail=detail,
+            )
+        )
+
+    # -- helpers -------------------------------------------------------------
+    def recorded_kinds(self) -> list[EventKind]:
+        return [event.kind for event in self.records]
+
+    def last_multicast(self) -> tuple[tuple[NodeId, ...], Any]:
+        if not self.multicasts:
+            raise AssertionError("no multicast was issued")
+        return self.multicasts[-1]
+
+    def clear(self) -> None:
+        self.sent.clear()
+        self.multicasts.clear()
+        self.records.clear()
+
+
+def deliver_own_multicast(node, ctx: FakeContext, index: int = -1) -> None:
+    """Deliver a node's own multicast back to itself (self-delivery).
+
+    The protocol relies on the best-effort multicast looping back to the
+    sender; in simulator runs the network does it, in these unit tests the
+    helper does.
+    """
+    targets, message = ctx.multicasts[index]
+    if ctx.node_id in targets:
+        node.on_message(ctx, ctx.node_id, message)

@@ -1,0 +1,105 @@
+"""Unit tests for the three baselines (global consensus, gossip, uncoordinated)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    run_global_baseline,
+    run_gossip_baseline,
+    run_uncoordinated_baseline,
+)
+from repro.failures import region_crash
+from repro.graph.generators import grid, torus
+from repro.trace import communicating_nodes
+
+
+@pytest.fixture
+def baseline_graph():
+    return grid(5, 5)
+
+
+@pytest.fixture
+def baseline_schedule(baseline_graph):
+    return region_crash(baseline_graph, [(2, 2), (2, 3)], at=1.0)
+
+
+class TestGlobalBaseline:
+    def test_all_correct_nodes_decide_the_crash_map(self, baseline_graph, baseline_schedule):
+        result = run_global_baseline(baseline_graph, baseline_schedule)
+        assert result.agreed
+        assert result.decided_map == frozenset({(2, 2), (2, 3)})
+        # Every correct node participates and decides.
+        assert len(result.decisions) == len(baseline_graph) - 2
+
+    def test_whole_network_speaks(self, baseline_graph, baseline_schedule):
+        result = run_global_baseline(baseline_graph, baseline_schedule)
+        assert result.metrics.speaking_nodes >= len(baseline_graph) - 2
+
+    def test_cost_grows_with_system_size(self):
+        small_graph = torus(4, 4)
+        big_graph = torus(6, 6)
+        small = run_global_baseline(small_graph, region_crash(small_graph, [(1, 1)], at=1.0))
+        big = run_global_baseline(big_graph, region_crash(big_graph, [(1, 1)], at=1.0))
+        assert big.metrics.messages_sent > small.metrics.messages_sent * 2
+
+    def test_no_crash_no_consensus(self, baseline_graph):
+        from repro.failures import CrashSchedule
+
+        result = run_global_baseline(baseline_graph, CrashSchedule())
+        assert result.decisions == {}
+        assert result.decided_map is None
+        assert result.agreed
+
+
+class TestGossipBaseline:
+    def test_converges_to_common_view(self, baseline_graph, baseline_schedule):
+        result = run_gossip_baseline(baseline_graph, baseline_schedule)
+        assert result.converged
+        non_empty = {view for view in result.final_views.values() if view}
+        assert non_empty == {frozenset({(2, 2), (2, 3)})}
+
+    def test_information_spreads_to_whole_network(self, baseline_graph, baseline_schedule):
+        result = run_gossip_baseline(baseline_graph, baseline_schedule)
+        assert result.informed_nodes == len(baseline_graph) - 2
+
+    def test_many_intermediate_view_installs(self, baseline_graph, baseline_schedule):
+        result = run_gossip_baseline(baseline_graph, baseline_schedule)
+        # Far more installs than the number of correct nodes would need if
+        # they learned the final view directly.
+        assert result.total_installs > result.informed_nodes
+
+    def test_convergence_time_recorded(self, baseline_graph, baseline_schedule):
+        result = run_gossip_baseline(baseline_graph, baseline_schedule)
+        assert result.convergence_time is not None
+        assert result.convergence_time > 1.0
+
+    def test_no_crash_is_silent(self, baseline_graph):
+        from repro.failures import CrashSchedule
+
+        result = run_gossip_baseline(baseline_graph, CrashSchedule())
+        assert result.total_installs == 0
+        assert result.metrics.messages_sent == 0
+
+
+class TestUncoordinatedBaseline:
+    def test_every_border_node_acts(self, baseline_graph, baseline_schedule):
+        result = run_uncoordinated_baseline(baseline_graph, baseline_schedule)
+        border = baseline_graph.border({(2, 2), (2, 3)})
+        assert set(result.actions) == set(border)
+
+    def test_staggered_crash_produces_conflicts(self):
+        graph = torus(8, 8)
+        members = [(1, 1), (1, 2), (2, 1), (2, 2), (3, 1)]
+        schedule = region_crash(graph, members, at=1.0, spread=6.0)
+        result = run_uncoordinated_baseline(graph, schedule, grace_period=1.5)
+        assert result.conflicting_pairs > 0
+
+    def test_simultaneous_crash_duplicates_work(self, baseline_graph, baseline_schedule):
+        result = run_uncoordinated_baseline(baseline_graph, baseline_schedule)
+        assert result.duplicated_repairs > 0
+
+    def test_only_local_nodes_speak(self, baseline_graph, baseline_schedule):
+        result = run_uncoordinated_baseline(baseline_graph, baseline_schedule)
+        # The uncoordinated baseline is at least local: no protocol messages.
+        assert communicating_nodes(result.trace) == frozenset()

@@ -1,0 +1,91 @@
+"""Unit tests for decision policies (selectValueForView / deterministicPick)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CallbackPolicy,
+    ConstantValuePolicy,
+    CoordinatorElectionPolicy,
+    ProposedRepair,
+)
+from repro.graph import Region
+from repro.graph.generators import grid
+
+
+@pytest.fixture
+def view_and_graph():
+    graph = grid(4, 4)
+    view = Region(frozenset({(1, 1), (1, 2)}))
+    return graph, view
+
+
+class TestCoordinatorElectionPolicy:
+    def test_select_value_names_proposer(self, view_and_graph):
+        graph, view = view_and_graph
+        policy = CoordinatorElectionPolicy()
+        value = policy.select_value(graph, view, (0, 1))
+        assert isinstance(value, ProposedRepair)
+        assert value.coordinator == (0, 1)
+        assert value.view == view
+
+    def test_pick_is_deterministic_in_contents(self, view_and_graph):
+        graph, view = view_and_graph
+        policy = CoordinatorElectionPolicy()
+        values = {
+            (2, 1): policy.select_value(graph, view, (2, 1)),
+            (0, 1): policy.select_value(graph, view, (0, 1)),
+            (1, 0): policy.select_value(graph, view, (1, 0)),
+        }
+        reordered = dict(reversed(list(values.items())))
+        assert policy.pick(graph, view, values) == policy.pick(graph, view, reordered)
+
+    def test_pick_elects_smallest_proposer(self, view_and_graph):
+        graph, view = view_and_graph
+        policy = CoordinatorElectionPolicy()
+        values = {
+            (2, 1): policy.select_value(graph, view, (2, 1)),
+            (0, 1): policy.select_value(graph, view, (0, 1)),
+        }
+        assert policy.pick(graph, view, values).coordinator == (0, 1)
+
+    def test_pick_empty_rejected(self, view_and_graph):
+        graph, view = view_and_graph
+        with pytest.raises(ValueError):
+            CoordinatorElectionPolicy().pick(graph, view, {})
+
+    def test_proposed_repair_describe(self, view_and_graph):
+        graph, view = view_and_graph
+        value = CoordinatorElectionPolicy().select_value(graph, view, (0, 1))
+        assert "coordinates recovery" in value.describe()
+
+
+class TestConstantValuePolicy:
+    def test_always_same_value(self, view_and_graph):
+        graph, view = view_and_graph
+        policy = ConstantValuePolicy("fixed")
+        assert policy.select_value(graph, view, (0, 1)) == "fixed"
+        assert policy.pick(graph, view, {(0, 1): "fixed", (2, 1): "fixed"}) == "fixed"
+
+    def test_pick_deterministic_across_values(self, view_and_graph):
+        graph, view = view_and_graph
+        policy = ConstantValuePolicy()
+        values = {(0, 1): "b", (2, 1): "a"}
+        assert policy.pick(graph, view, values) == "a"
+
+    def test_pick_empty_rejected(self, view_and_graph):
+        graph, view = view_and_graph
+        with pytest.raises(ValueError):
+            ConstantValuePolicy().pick(graph, view, {})
+
+
+class TestCallbackPolicy:
+    def test_delegates_to_callables(self, view_and_graph):
+        graph, view = view_and_graph
+        policy = CallbackPolicy(
+            select_value=lambda g, v, node: f"value-from-{node}",
+            pick=lambda g, v, values: sorted(values.values())[0],
+        )
+        assert policy.select_value(graph, view, "n") == "value-from-n"
+        assert policy.pick(graph, view, {"a": "z", "b": "a"}) == "a"

@@ -1,0 +1,167 @@
+"""Unit tests for the flooding uniform consensus building block."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FloodMessage, FloodingConsensusNode, merge_sets, pick_minimum
+from repro.graph import KnowledgeGraph
+from repro.sim import ConstantLatency, EventKind, PerfectFailureDetector, Simulator
+
+
+@pytest.fixture
+def clique_graph():
+    return KnowledgeGraph(
+        [("a", "b"), ("a", "c"), ("a", "d"), ("b", "c"), ("b", "d"), ("c", "d")]
+    )
+
+
+def run_flooding(graph, initial_values, crashes=(), pick=pick_minimum, early=True):
+    participants = frozenset(initial_values)
+    sim = Simulator(
+        graph,
+        latency=ConstantLatency(1.0),
+        failure_detector=PerfectFailureDetector(0.5),
+    )
+    for node in graph.nodes:
+        if node in participants:
+            sim.add_process(
+                node,
+                FloodingConsensusNode(
+                    node,
+                    participants,
+                    initial_values[node],
+                    pick=pick,
+                    early_termination=early,
+                ),
+            )
+    sim.populate(lambda node_id: FloodingConsensusNode(node_id, frozenset({node_id}), None))
+    for node, time in crashes:
+        sim.schedule_crash(node, time)
+    sim.run()
+    return sim
+
+
+class TestDecisionFunctions:
+    def test_pick_minimum(self):
+        assert pick_minimum({"a": 3, "b": 1, "c": 2}) == 1
+
+    def test_pick_minimum_empty(self):
+        with pytest.raises(ValueError):
+            pick_minimum({})
+
+    def test_merge_sets(self):
+        merged = merge_sets({"a": {1, 2}, "b": {2, 3}})
+        assert merged == frozenset({1, 2, 3})
+
+    def test_merge_sets_empty(self):
+        assert merge_sets({}) == frozenset()
+
+
+class TestConstruction:
+    def test_node_must_be_participant(self):
+        with pytest.raises(ValueError):
+            FloodingConsensusNode("a", frozenset({"b"}), 1)
+
+    def test_message_round_positive(self):
+        with pytest.raises(ValueError):
+            FloodMessage(0, {})
+
+    def test_message_wire_size(self):
+        assert FloodMessage(1, {"a": 1}).wire_size() > 16
+
+    def test_total_rounds(self):
+        node = FloodingConsensusNode("a", frozenset({"a", "b", "c"}), 1)
+        assert node.total_rounds == 2
+        single = FloodingConsensusNode("a", frozenset({"a"}), 1)
+        assert single.total_rounds == 1
+
+
+class TestAgreement:
+    def test_all_decide_same_value(self, clique_graph):
+        values = {"a": 4, "b": 2, "c": 9, "d": 7}
+        sim = run_flooding(clique_graph, values)
+        decisions = {
+            node: sim.process(node).decided for node in values
+        }
+        assert set(decisions.values()) == {2}
+
+    def test_decided_events_recorded(self, clique_graph):
+        values = {"a": 1, "b": 2, "c": 3, "d": 4}
+        sim = run_flooding(clique_graph, values)
+        assert len(sim.trace.of_kind(EventKind.DECIDED)) == 4
+
+    def test_agreement_with_crashed_participant(self, clique_graph):
+        values = {"a": 4, "b": 2, "c": 9, "d": 7}
+        sim = run_flooding(clique_graph, values, crashes=[("b", 0.2)])
+        survivors = {"a", "c", "d"}
+        decisions = {sim.process(node).decided for node in survivors}
+        assert len(decisions) == 1
+        assert decisions.pop() in {2, 4, 7, 9}
+
+    def test_agreement_with_mid_run_crash(self, clique_graph):
+        values = {"a": 4, "b": 2, "c": 9, "d": 7}
+        sim = run_flooding(clique_graph, values, crashes=[("b", 2.5)], early=False)
+        survivors = {"a", "c", "d"}
+        decisions = {sim.process(node).decided for node in survivors}
+        assert len(decisions) == 1
+
+    def test_merge_sets_consensus(self, clique_graph):
+        values = {
+            "a": frozenset({"x"}),
+            "b": frozenset({"y"}),
+            "c": frozenset(),
+            "d": frozenset({"x", "z"}),
+        }
+        sim = run_flooding(clique_graph, values, pick=merge_sets)
+        for node in values:
+            assert sim.process(node).decided == frozenset({"x", "y", "z"})
+
+    def test_without_early_termination_runs_full_rounds(self, clique_graph):
+        values = {"a": 1, "b": 2, "c": 3, "d": 4}
+        fast = run_flooding(clique_graph, values, early=True)
+        slow = run_flooding(clique_graph, values, early=False)
+        assert (
+            len(slow.trace.of_kind(EventKind.MESSAGE_SENT))
+            >= len(fast.trace.of_kind(EventKind.MESSAGE_SENT))
+        )
+        for node in values:
+            assert slow.process(node).decided == fast.process(node).decided
+
+    def test_single_participant_decides_immediately(self):
+        graph = KnowledgeGraph([("a", "b")])
+        sim = Simulator(graph)
+        sim.add_process("a", FloodingConsensusNode("a", frozenset({"a"}), 42))
+        sim.populate(lambda node_id: FloodingConsensusNode(node_id, frozenset({node_id}), 0))
+        sim.run()
+        assert sim.process("a").decided == 42
+
+    def test_begin_is_idempotent(self, clique_graph):
+        node = FloodingConsensusNode("a", frozenset({"a", "b"}), 1, auto_start=False)
+
+        class _Ctx:
+            graph = clique_graph
+            node_id = "a"
+
+            def __init__(self):
+                self.sent = []
+
+            def now(self):
+                return 0.0
+
+            def multicast(self, targets, message):
+                self.sent.append((tuple(targets), message))
+
+            def monitor_crash(self, targets):
+                pass
+
+            def record(self, kind, payload=None, peer=None, **detail):
+                pass
+
+        ctx = _Ctx()
+        node.on_start(ctx)
+        assert node.started is False
+        node.begin(ctx)
+        node.begin(ctx)
+        round_one = [msg for _, msg in ctx.sent if msg.round == 1]
+        assert len(round_one) == 1

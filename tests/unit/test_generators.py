@@ -1,0 +1,196 @@
+"""Unit tests for the topology generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import GraphError
+from repro.graph.generators import (
+    barabasi_albert,
+    chord_like,
+    clustered_communities,
+    complete,
+    from_edge_list,
+    grid,
+    line,
+    random_geometric,
+    ring,
+    square_region,
+    star,
+    torus,
+    watts_strogatz,
+)
+
+
+class TestGrid:
+    def test_size_and_degree(self):
+        graph = grid(4, 3)
+        assert len(graph) == 12
+        assert graph.degree((0, 0)) == 2
+        assert graph.degree((1, 1)) == 4
+
+    def test_connected(self):
+        assert grid(5, 5).is_connected()
+
+    def test_diagonal_neighbourhood(self):
+        graph = grid(3, 3, diagonal=True)
+        assert graph.has_edge((0, 0), (1, 1))
+        assert graph.degree((1, 1)) == 8
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(GraphError):
+            grid(0, 3)
+
+
+class TestTorus:
+    def test_every_node_has_degree_four(self):
+        graph = torus(5, 4)
+        assert all(graph.degree(node) == 4 for node in graph)
+
+    def test_wraparound_edges(self):
+        graph = torus(4, 4)
+        assert graph.has_edge((0, 0), (3, 0))
+        assert graph.has_edge((0, 0), (0, 3))
+
+    def test_connected(self):
+        assert torus(6, 6).is_connected()
+
+    def test_too_small(self):
+        with pytest.raises(GraphError):
+            torus(2, 5)
+
+
+class TestRingAndChord:
+    def test_ring_single_successor(self):
+        graph = ring(6)
+        assert all(graph.degree(node) == 2 for node in graph)
+        assert graph.has_edge(5, 0)
+
+    def test_ring_successor_list(self):
+        graph = ring(8, successors=2)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(0, 2)
+        assert all(graph.degree(node) == 4 for node in graph)
+
+    def test_ring_invalid(self):
+        with pytest.raises(GraphError):
+            ring(2)
+        with pytest.raises(GraphError):
+            ring(5, successors=5)
+
+    def test_chord_like_has_fingers(self):
+        graph = chord_like(16, successors=1, fingers=True)
+        assert graph.has_edge(0, 2)
+        assert graph.has_edge(0, 4)
+        assert graph.is_connected()
+
+    def test_chord_like_without_fingers(self):
+        assert chord_like(8, successors=2, fingers=False) == ring(8, 2)
+
+
+class TestSimpleShapes:
+    def test_complete(self):
+        graph = complete(5)
+        assert graph.edge_count == 10
+        assert all(graph.degree(node) == 4 for node in graph)
+
+    def test_complete_single_node(self):
+        assert len(complete(1)) == 1
+
+    def test_complete_invalid(self):
+        with pytest.raises(GraphError):
+            complete(0)
+
+    def test_star(self):
+        graph = star(4)
+        assert graph.degree(0) == 4
+        assert all(graph.degree(i) == 1 for i in range(1, 5))
+
+    def test_star_invalid(self):
+        with pytest.raises(GraphError):
+            star(0)
+
+    def test_line(self):
+        graph = line(5)
+        assert graph.edge_count == 4
+        assert graph.degree(0) == 1
+        assert graph.degree(2) == 2
+
+    def test_line_invalid(self):
+        with pytest.raises(GraphError):
+            line(1)
+
+    def test_from_edge_list(self):
+        graph = from_edge_list([("x", "y")])
+        assert graph.has_edge("x", "y")
+
+
+class TestRandomGraphs:
+    def test_random_geometric_deterministic(self):
+        first = random_geometric(30, 0.35, seed=7)
+        second = random_geometric(30, 0.35, seed=7)
+        assert first == second
+
+    def test_random_geometric_connected(self):
+        graph = random_geometric(40, 0.3, seed=1)
+        assert graph.is_connected()
+
+    def test_random_geometric_impossible_radius(self):
+        with pytest.raises(GraphError):
+            random_geometric(50, 0.01, seed=0)
+
+    def test_random_geometric_too_small(self):
+        with pytest.raises(GraphError):
+            random_geometric(1, 0.5)
+
+    def test_watts_strogatz_basics(self):
+        graph = watts_strogatz(20, 4, 0.1, seed=3)
+        assert len(graph) == 20
+        assert graph.edge_count >= 20 * 4 // 2 - 5
+
+    def test_watts_strogatz_deterministic(self):
+        assert watts_strogatz(20, 4, 0.3, seed=5) == watts_strogatz(20, 4, 0.3, seed=5)
+
+    def test_watts_strogatz_invalid(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 3, 0.1)
+        with pytest.raises(GraphError):
+            watts_strogatz(4, 4, 0.1)
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 4, 1.5)
+
+    def test_barabasi_albert_basics(self):
+        graph = barabasi_albert(30, 2, seed=2)
+        assert len(graph) == 30
+        assert graph.is_connected()
+
+    def test_barabasi_albert_deterministic(self):
+        assert barabasi_albert(25, 2, seed=9) == barabasi_albert(25, 2, seed=9)
+
+    def test_barabasi_albert_invalid(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(5, 0)
+        with pytest.raises(GraphError):
+            barabasi_albert(2, 3)
+
+    def test_clustered_communities_structure(self):
+        graph = clustered_communities(3, 5, seed=4)
+        assert len(graph) == 15
+        assert graph.is_connected()
+        assert graph.has_edge((0, 0), (0, 1))
+
+    def test_clustered_communities_invalid(self):
+        with pytest.raises(GraphError):
+            clustered_communities(0, 5)
+        with pytest.raises(GraphError):
+            clustered_communities(2, 4, intra_probability=0.0)
+
+
+class TestSquareRegion:
+    def test_square_region_members(self):
+        members = square_region((1, 2), 2)
+        assert members == frozenset({(1, 2), (1, 3), (2, 2), (2, 3)})
+
+    def test_square_region_is_connected_in_torus(self):
+        graph = torus(8, 8)
+        assert graph.is_connected_subset(square_region((1, 1), 3))

@@ -1,0 +1,109 @@
+"""Unit tests for the latency models and failure-detector delay policies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim import (
+    ConstantLatency,
+    ExponentialLatency,
+    JitteredFailureDetector,
+    PerPairLatency,
+    PerfectFailureDetector,
+    ScriptedFailureDetector,
+    UniformLatency,
+)
+
+
+class TestLatencyModels:
+    def test_constant_latency(self):
+        model = ConstantLatency(2.0)
+        rng = random.Random(0)
+        assert model.sample("a", "b", rng) == 2.0
+        assert model.sample("b", "a", rng) == 2.0
+
+    def test_constant_latency_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(0.0)
+
+    def test_uniform_latency_within_bounds(self):
+        model = UniformLatency(0.5, 1.5)
+        rng = random.Random(1)
+        samples = [model.sample("a", "b", rng) for _ in range(200)]
+        assert all(0.5 <= sample <= 1.5 for sample in samples)
+
+    def test_uniform_latency_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(2.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformLatency(0.0, 1.0)
+
+    def test_uniform_latency_seeded_reproducible(self):
+        model = UniformLatency(0.5, 1.5)
+        first = [model.sample("a", "b", random.Random(42)) for _ in range(5)]
+        second = [model.sample("a", "b", random.Random(42)) for _ in range(5)]
+        assert first == second
+
+    def test_exponential_latency_above_base(self):
+        model = ExponentialLatency(base=0.2, mean=1.0)
+        rng = random.Random(2)
+        samples = [model.sample("a", "b", rng) for _ in range(200)]
+        assert all(sample >= 0.2 for sample in samples)
+
+    def test_exponential_latency_invalid(self):
+        with pytest.raises(ValueError):
+            ExponentialLatency(base=-1.0)
+        with pytest.raises(ValueError):
+            ExponentialLatency(mean=0.0)
+
+    def test_per_pair_latency(self):
+        model = PerPairLatency.from_dict({("a", "b"): 5.0}, default=1.0)
+        rng = random.Random(0)
+        assert model.sample("a", "b", rng) == 5.0
+        assert model.sample("b", "a", rng) == 1.0
+        assert model.sample("x", "y", rng) == 1.0
+
+
+class TestFailureDetectorPolicies:
+    def test_perfect_constant_delay(self):
+        detector = PerfectFailureDetector(1.5)
+        rng = random.Random(0)
+        assert detector.delay("p", "q", rng) == 1.5
+
+    def test_perfect_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            PerfectFailureDetector(-1.0)
+
+    def test_jittered_within_bounds(self):
+        detector = JitteredFailureDetector(0.5, 2.0)
+        rng = random.Random(3)
+        samples = [detector.delay("p", "q", rng) for _ in range(100)]
+        assert all(0.5 <= sample <= 2.0 for sample in samples)
+
+    def test_jittered_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            JitteredFailureDetector(2.0, 1.0)
+        with pytest.raises(ValueError):
+            JitteredFailureDetector(-0.5, 1.0)
+
+    def test_scripted_delays(self):
+        detector = ScriptedFailureDetector({("madrid", "paris"): 40.0}, default_delay=1.0)
+        rng = random.Random(0)
+        assert detector.delay("madrid", "paris", rng) == 40.0
+        assert detector.delay("berlin", "paris", rng) == 1.0
+
+    def test_scripted_set_delay(self):
+        detector = ScriptedFailureDetector()
+        detector.set_delay("p", "q", 7.0)
+        assert detector.delay("p", "q", random.Random(0)) == 7.0
+
+    def test_scripted_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ScriptedFailureDetector({("p", "q"): -1.0})
+        with pytest.raises(ValueError):
+            ScriptedFailureDetector(default_delay=-1.0)
+        detector = ScriptedFailureDetector()
+        with pytest.raises(ValueError):
+            detector.set_delay("p", "q", -2.0)

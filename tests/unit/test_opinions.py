@@ -1,0 +1,171 @@
+"""Unit tests for opinion values, opinion vectors and round messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    REJECT,
+    Accept,
+    ApplicationMessage,
+    OpinionVector,
+    RoundMessage,
+    is_accept,
+    is_bottom,
+    is_reject,
+)
+from repro.graph import Region
+
+
+class TestOpinionValues:
+    def test_accept_wraps_value(self):
+        opinion = Accept("plan")
+        assert opinion.value == "plan"
+        assert is_accept(opinion)
+        assert not is_reject(opinion)
+        assert not is_bottom(opinion)
+
+    def test_reject_is_singleton(self):
+        from repro.core.opinions import _Reject
+
+        assert _Reject() is REJECT
+        assert is_reject(REJECT)
+        assert not is_accept(REJECT)
+        assert repr(REJECT) == "REJECT"
+
+    def test_bottom_is_none(self):
+        assert is_bottom(None)
+        assert not is_bottom(REJECT)
+
+    def test_accept_equality(self):
+        assert Accept(1) == Accept(1)
+        assert Accept(1) != Accept(2)
+
+
+class TestOpinionVector:
+    def test_starts_all_bottom(self):
+        vector = OpinionVector(["a", "b"])
+        assert vector.unknown() == frozenset({"a", "b"})
+        assert not vector.all_accept()
+
+    def test_set_and_get(self):
+        vector = OpinionVector(["a", "b"])
+        vector.set("a", Accept(1))
+        assert vector["a"] == Accept(1)
+        assert vector.get("b") is None
+        assert "a" in vector
+        assert "z" not in vector
+
+    def test_set_unknown_node_rejected(self):
+        vector = OpinionVector(["a"])
+        with pytest.raises(KeyError):
+            vector.set("z", Accept(1))
+
+    def test_set_bottom_rejected(self):
+        vector = OpinionVector(["a"])
+        with pytest.raises(ValueError):
+            vector.set("a", None)
+
+    def test_first_writer_wins(self):
+        """Line 24 of Algorithm 1 never overwrites a known opinion."""
+        vector = OpinionVector(["a"])
+        vector.set("a", Accept("first"))
+        vector.set("a", REJECT)
+        assert vector["a"] == Accept("first")
+
+    def test_merge_only_fills_bottom(self):
+        vector = OpinionVector(["a", "b", "c"])
+        vector.set("a", Accept(1))
+        updated = vector.merge({"a": REJECT, "b": Accept(2), "c": None, "z": Accept(9)})
+        assert updated == ["b"]
+        assert vector["a"] == Accept(1)
+        assert vector["b"] == Accept(2)
+        assert vector["c"] is None
+
+    def test_queries(self):
+        vector = OpinionVector(["a", "b", "c"])
+        vector.set("a", Accept(1))
+        vector.set("b", REJECT)
+        assert vector.accepters() == frozenset({"a"})
+        assert vector.rejectors() == frozenset({"b"})
+        assert vector.unknown() == frozenset({"c"})
+        assert vector.accepted_values() == {"a": 1}
+
+    def test_all_accept(self):
+        vector = OpinionVector(["a", "b"])
+        vector.set("a", Accept(1))
+        assert not vector.all_accept()
+        vector.set("b", Accept(2))
+        assert vector.all_accept()
+
+    def test_from_mapping_and_equality(self):
+        vector = OpinionVector.from_mapping({"a": Accept(1), "b": None})
+        assert vector["a"] == Accept(1)
+        assert vector == {"a": Accept(1), "b": None}
+        assert vector == OpinionVector.from_mapping({"a": Accept(1), "b": None})
+        assert vector != OpinionVector.from_mapping({"a": Accept(2), "b": None})
+
+    def test_members_and_repr(self):
+        vector = OpinionVector(["b", "a"])
+        assert vector.members == frozenset({"a", "b"})
+        assert "OpinionVector" in repr(vector)
+
+    def test_as_mapping_is_copy(self):
+        vector = OpinionVector(["a"])
+        mapping = vector.as_mapping()
+        mapping["a"] = Accept(5)
+        assert vector["a"] is None
+
+
+class TestRoundMessage:
+    def test_fields_and_freezing(self):
+        view = Region(frozenset({"x"}))
+        message = RoundMessage(1, view, {"a", "b"}, {"a": Accept(1), "b": None})
+        assert message.round == 1
+        assert message.view == view
+        assert isinstance(message.border, frozenset)
+        assert message.opinions["a"] == Accept(1)
+
+    def test_round_must_be_positive(self):
+        view = Region(frozenset({"x"}))
+        with pytest.raises(ValueError):
+            RoundMessage(0, view, frozenset({"a"}), {})
+
+    def test_is_rejection(self):
+        view = Region(frozenset({"x"}))
+        accepting = RoundMessage(1, view, frozenset({"a"}), {"a": Accept(1)})
+        rejecting = RoundMessage(1, view, frozenset({"a"}), {"a": REJECT})
+        assert not accepting.is_rejection()
+        assert rejecting.is_rejection()
+
+    def test_known_entries(self):
+        view = Region(frozenset({"x"}))
+        message = RoundMessage(
+            1, view, frozenset({"a", "b", "c"}), {"a": Accept(1), "b": None, "c": REJECT}
+        )
+        assert message.known_entries() == 2
+
+    def test_wire_size_grows_with_border(self):
+        view = Region(frozenset({"x"}))
+        small = RoundMessage(1, view, frozenset({"a"}), {"a": Accept(1)})
+        large = RoundMessage(
+            1,
+            view,
+            frozenset({"a", "b", "c", "d"}),
+            {"a": Accept(1), "b": Accept(2), "c": Accept(3), "d": Accept(4)},
+        )
+        assert large.wire_size() > small.wire_size()
+
+    def test_describe(self):
+        view = Region(frozenset({"x"}))
+        message = RoundMessage(2, view, frozenset({"a"}), {"a": Accept(1)})
+        text = message.describe()
+        assert "r=2" in text
+        assert "accepts=1" in text
+
+
+class TestApplicationMessage:
+    def test_fields_and_wire_size(self):
+        message = ApplicationMessage("gossip", frozenset({"a"}))
+        assert message.topic == "gossip"
+        assert message.wire_size() > 16

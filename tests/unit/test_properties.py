@@ -1,0 +1,251 @@
+"""Unit tests for the CD1–CD7 trace checkers.
+
+Each checker is exercised with hand-built traces that satisfy and violate
+its property, so that the integration tests' "specification holds" verdicts
+actually mean something.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.properties import (
+    Decision,
+    check_all,
+    check_border_termination,
+    check_integrity,
+    check_locality,
+    check_progress,
+    check_uniform_border_agreement,
+    check_view_accuracy,
+    check_view_convergence,
+    extract_decisions,
+    assert_specification,
+)
+from repro.graph import KnowledgeGraph, Region
+from repro.sim import EventKind
+from repro.trace import TraceRecorder
+
+
+@pytest.fixture
+def check_graph():
+    """v1-v2 is the crashed region; a, b, c are its border; z is far away."""
+    return KnowledgeGraph(
+        [
+            ("v1", "v2"),
+            ("a", "v1"),
+            ("b", "v2"),
+            ("c", "v1"),
+            ("c", "v2"),
+            ("a", "b"),
+            ("b", "z"),
+        ]
+    )
+
+
+def crashed_region(graph) -> Region:
+    return Region.of(graph, ["v1", "v2"])
+
+
+def base_trace(graph, decide_nodes=("a", "b", "c"), value="plan") -> TraceRecorder:
+    """A well-formed trace: the region crashes, all border nodes decide."""
+    trace = TraceRecorder()
+    view = crashed_region(graph)
+    trace.emit(1.0, EventKind.NODE_CRASHED, node="v1")
+    trace.emit(1.0, EventKind.NODE_CRASHED, node="v2")
+    for node in decide_nodes:
+        trace.emit(2.0, EventKind.MESSAGE_SENT, node=node, peer="a", payload="m")
+    for index, node in enumerate(decide_nodes):
+        trace.emit(5.0 + index, EventKind.DECIDED, node=node, payload=view, decision=value)
+    return trace
+
+
+class TestDecisionExtraction:
+    def test_extract_decisions(self, check_graph):
+        trace = base_trace(check_graph)
+        decisions = extract_decisions(trace)
+        assert len(decisions) == 3
+        assert all(isinstance(decision, Decision) for decision in decisions)
+        assert decisions[0].value == "plan"
+
+    def test_from_event_rejects_other_kinds(self, check_graph):
+        trace = base_trace(check_graph)
+        with pytest.raises(ValueError):
+            Decision.from_event(trace.crashes()[0])
+
+
+class TestIntegrity:
+    def test_holds(self, check_graph):
+        assert check_integrity(base_trace(check_graph)).holds
+
+    def test_violated_by_double_decision(self, check_graph):
+        trace = base_trace(check_graph)
+        view = crashed_region(check_graph)
+        trace.emit(9.0, EventKind.DECIDED, node="a", payload=view, decision="plan")
+        report = check_integrity(trace)
+        assert not report.holds
+        assert "twice" in report.violations[0]
+
+
+class TestViewAccuracy:
+    def test_holds(self, check_graph):
+        assert check_view_accuracy(check_graph, base_trace(check_graph)).holds
+
+    def test_violated_by_non_crashed_member(self, check_graph):
+        trace = TraceRecorder()
+        trace.emit(1.0, EventKind.NODE_CRASHED, node="v1")
+        view = crashed_region(check_graph)  # contains v2, which never crashed
+        trace.emit(5.0, EventKind.DECIDED, node="a", payload=view, decision="d")
+        assert not check_view_accuracy(check_graph, trace).holds
+
+    def test_violated_by_decision_before_crash(self, check_graph):
+        trace = TraceRecorder()
+        trace.emit(1.0, EventKind.NODE_CRASHED, node="v1")
+        trace.emit(2.0, EventKind.DECIDED, node="a",
+                   payload=crashed_region(check_graph), decision="d")
+        trace.emit(9.0, EventKind.NODE_CRASHED, node="v2")
+        assert not check_view_accuracy(check_graph, trace).holds
+
+    def test_violated_by_non_border_decider(self, check_graph):
+        trace = base_trace(check_graph)
+        trace.emit(9.0, EventKind.DECIDED, node="z",
+                   payload=crashed_region(check_graph), decision="plan")
+        report = check_view_accuracy(check_graph, trace)
+        assert not report.holds
+        assert "border" in report.violations[0]
+
+    def test_violated_by_disconnected_view(self, check_graph):
+        trace = TraceRecorder()
+        trace.emit(1.0, EventKind.NODE_CRASHED, node="v1")
+        trace.emit(1.0, EventKind.NODE_CRASHED, node="z")
+        disconnected = Region(frozenset({"v1", "z"}))
+        trace.emit(5.0, EventKind.DECIDED, node="b", payload=disconnected, decision="d")
+        assert not check_view_accuracy(check_graph, trace).holds
+
+
+class TestLocality:
+    def test_holds_for_border_traffic(self, check_graph):
+        assert check_locality(check_graph, base_trace(check_graph)).holds
+
+    def test_violated_by_far_away_traffic(self, check_graph):
+        trace = base_trace(check_graph)
+        trace.emit(3.0, EventKind.MESSAGE_SENT, node="z", peer="b", payload="m")
+        report = check_locality(check_graph, trace)
+        assert not report.holds
+
+    def test_explicit_faulty_set(self, check_graph):
+        trace = base_trace(check_graph)
+        report = check_locality(check_graph, trace, faulty=frozenset({"v1", "v2"}))
+        assert report.holds
+
+    def test_self_messages_ignored(self, check_graph):
+        trace = base_trace(check_graph)
+        trace.emit(3.0, EventKind.MESSAGE_SENT, node="z", peer="z", payload="m")
+        assert check_locality(check_graph, trace).holds
+
+
+class TestUniformBorderAgreement:
+    def test_holds(self, check_graph):
+        assert check_uniform_border_agreement(check_graph, base_trace(check_graph)).holds
+
+    def test_violated_by_different_values(self, check_graph):
+        trace = base_trace(check_graph, decide_nodes=("a", "b"))
+        view = crashed_region(check_graph)
+        trace.emit(9.0, EventKind.DECIDED, node="c", payload=view, decision="other-plan")
+        assert not check_uniform_border_agreement(check_graph, trace).holds
+
+    def test_violated_by_different_view_on_border(self, check_graph):
+        trace = base_trace(check_graph, decide_nodes=("a", "b"))
+        other = Region(frozenset({"v1"}))
+        trace.emit(9.0, EventKind.DECIDED, node="c", payload=other, decision="plan")
+        assert not check_uniform_border_agreement(check_graph, trace).holds
+
+
+class TestBorderTermination:
+    def test_holds_when_all_border_decides(self, check_graph):
+        assert check_border_termination(check_graph, base_trace(check_graph)).holds
+
+    def test_violated_when_correct_border_node_silent(self, check_graph):
+        trace = base_trace(check_graph, decide_nodes=("a", "b"))
+        report = check_border_termination(check_graph, trace)
+        assert not report.holds
+        assert "never decided" in report.violations[0]
+
+    def test_crashed_border_node_excused(self, check_graph):
+        trace = base_trace(check_graph, decide_nodes=("a", "b"))
+        trace.emit(0.5, EventKind.NODE_CRASHED, node="c")
+        assert check_border_termination(check_graph, trace).holds
+
+
+class TestViewConvergence:
+    def test_holds_for_equal_views(self, check_graph):
+        assert check_view_convergence(base_trace(check_graph)).holds
+
+    def test_holds_for_disjoint_views(self, check_graph):
+        trace = base_trace(check_graph)
+        trace.emit(1.5, EventKind.NODE_CRASHED, node="z")
+        trace.emit(9.0, EventKind.DECIDED, node="b",
+                   payload=Region(frozenset({"z"})), decision="other")
+        assert check_view_convergence(trace).holds
+
+    def test_violated_by_overlapping_views(self, check_graph):
+        trace = base_trace(check_graph)
+        overlapping = Region(frozenset({"v1"}))
+        trace.emit(9.0, EventKind.DECIDED, node="a", payload=overlapping, decision="d")
+        assert not check_view_convergence(trace).holds
+
+    def test_crashed_deciders_are_exempt(self, check_graph):
+        trace = base_trace(check_graph)
+        overlapping = Region(frozenset({"v1"}))
+        trace.emit(8.0, EventKind.DECIDED, node="b", payload=overlapping, decision="d")
+        trace.emit(8.5, EventKind.NODE_CRASHED, node="b")
+        assert check_view_convergence(trace).holds
+
+
+class TestProgress:
+    def test_holds(self, check_graph):
+        assert check_progress(check_graph, base_trace(check_graph)).holds
+
+    def test_violated_when_nobody_decides(self, check_graph):
+        trace = TraceRecorder()
+        trace.emit(1.0, EventKind.NODE_CRASHED, node="v1")
+        trace.emit(1.0, EventKind.NODE_CRASHED, node="v2")
+        assert not check_progress(check_graph, trace).holds
+
+    def test_no_faulty_nodes_trivially_holds(self, check_graph):
+        assert check_progress(check_graph, TraceRecorder()).holds
+
+    def test_cluster_with_no_correct_border_skipped(self):
+        graph = KnowledgeGraph([("u", "v")])
+        trace = TraceRecorder()
+        trace.emit(1.0, EventKind.NODE_CRASHED, node="u")
+        trace.emit(1.0, EventKind.NODE_CRASHED, node="v")
+        assert check_progress(graph, trace).holds
+
+
+class TestWholeSpecification:
+    def test_check_all_holds(self, check_graph):
+        report = check_all(check_graph, base_trace(check_graph))
+        assert report.holds
+        assert len(report.reports) == 7
+        assert report.violations() == []
+        assert "CD1" in report.summary()
+
+    def test_check_all_without_liveness(self, check_graph):
+        trace = base_trace(check_graph, decide_nodes=("a",))
+        full = check_all(check_graph, trace)
+        safety_only = check_all(check_graph, trace, include_liveness=False)
+        assert not full.holds  # CD4 violated: b and c silent
+        assert safety_only.holds
+        assert len(safety_only.reports) == 5
+
+    def test_assert_specification_raises(self, check_graph):
+        trace = base_trace(check_graph)
+        view = crashed_region(check_graph)
+        trace.emit(9.0, EventKind.DECIDED, node="a", payload=view, decision="plan")
+        with pytest.raises(AssertionError):
+            assert_specification(check_graph, trace)
+
+    def test_assert_specification_passes(self, check_graph):
+        report = assert_specification(check_graph, base_trace(check_graph))
+        assert report.holds

@@ -1,0 +1,199 @@
+"""Unit tests for the overlay-repair application layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.properties import Decision
+from repro.graph import GraphError, Region
+from repro.repair import (
+    RepairError,
+    RepairPlan,
+    RingOverlay,
+    RingRepairPolicy,
+    apply_decisions,
+    plan_for_view,
+)
+
+
+@pytest.fixture
+def overlay():
+    return RingOverlay(16, successors=2)
+
+
+class TestRingOverlay:
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            RingOverlay(3)
+        with pytest.raises(GraphError):
+            RingOverlay(8, successors=0)
+        with pytest.raises(GraphError):
+            RingOverlay(8, successors=8)
+
+    def test_knowledge_graph_matches_successor_lists(self, overlay):
+        graph = overlay.knowledge_graph()
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(0, 2)
+        assert not graph.has_edge(0, 3)
+        assert len(graph) == 16
+
+    def test_knowledge_graph_with_fingers(self):
+        overlay = RingOverlay(16, successors=1, fingers=True)
+        graph = overlay.knowledge_graph()
+        assert graph.has_edge(0, 4)
+
+    def test_successor_predecessor(self, overlay):
+        assert overlay.successor(15) == 0
+        assert overlay.predecessor(0) == 15
+        assert overlay.successor(3, hop=2) == 5
+        assert overlay.predecessor(3, hop=4) == 15
+
+    def test_arc(self, overlay):
+        assert overlay.arc(14, 4) == (14, 15, 0, 1)
+        with pytest.raises(GraphError):
+            overlay.arc(0, 16)
+        with pytest.raises(GraphError):
+            overlay.arc(99, 2)
+
+    def test_live_successor_and_predecessor(self, overlay):
+        crashed = {5, 6, 7}
+        assert overlay.live_successor(4, crashed) == 8
+        assert overlay.live_predecessor(8, crashed) == 4
+        assert overlay.live_successor(0, set()) == 1
+
+    def test_live_successor_all_crashed(self, overlay):
+        everyone_else = set(range(1, 16))
+        with pytest.raises(GraphError):
+            overlay.live_successor(0, everyone_else)
+
+    def test_crashed_arcs_single_run(self, overlay):
+        assert overlay.crashed_arcs({5, 6, 7}) == [(5, 6, 7)]
+
+    def test_crashed_arcs_multiple_runs(self, overlay):
+        arcs = overlay.crashed_arcs({2, 3, 9})
+        assert sorted(arcs) == [(2, 3), (9,)]
+
+    def test_crashed_arcs_wraparound(self, overlay):
+        assert overlay.crashed_arcs({15, 0, 1}) == [(15, 0, 1)]
+
+    def test_crashed_arcs_empty_and_full(self, overlay):
+        assert overlay.crashed_arcs(set()) == []
+        with pytest.raises(GraphError):
+            overlay.crashed_arcs(set(range(16)))
+
+    def test_ring_is_closed_healthy(self, overlay):
+        assert overlay.ring_is_closed(set())
+
+    def test_ring_broken_by_long_gap(self, overlay):
+        # A gap longer than the successor list cannot be bridged natively.
+        assert not overlay.ring_is_closed({5, 6, 7})
+
+    def test_short_gap_absorbed_by_successor_list(self, overlay):
+        # A single crashed node is bridged by the 2-hop successor link.
+        assert overlay.ring_is_closed({5})
+
+    def test_ring_closed_with_repair_edge(self, overlay):
+        assert overlay.ring_is_closed({5, 6, 7}, extra_edges=[(4, 8)])
+
+    def test_survivor_graph(self, overlay):
+        survivor = overlay.survivor_graph({5, 6, 7}, extra_edges=[(4, 8)])
+        assert 5 not in survivor
+        assert survivor.has_edge(4, 8)
+        assert survivor.is_connected()
+
+
+class TestRepairPlans:
+    def test_plan_bridges_each_arc(self, overlay):
+        view = Region(frozenset({5, 6, 7}))
+        plan = plan_for_view(overlay, view, coordinator=4)
+        assert plan.new_edges == ((4, 8),)
+        assert plan.coordinator == 4
+        assert "bridge" in plan.describe()
+        assert plan.wire_size() > 0
+
+    def test_plan_for_wraparound_arc(self, overlay):
+        view = Region(frozenset({15, 0}))
+        plan = plan_for_view(overlay, view, coordinator=14)
+        assert plan.new_edges == ((14, 1),)
+
+    def test_plan_is_proposer_independent(self, overlay):
+        view = Region(frozenset({5, 6, 7}))
+        plan_a = plan_for_view(overlay, view, coordinator=4)
+        plan_b = plan_for_view(overlay, view, coordinator=9)
+        assert plan_a.new_edges == plan_b.new_edges
+
+    def test_policy_select_and_pick(self, overlay):
+        policy = RingRepairPolicy(overlay)
+        graph = overlay.knowledge_graph()
+        view = Region(frozenset({5, 6, 7}))
+        values = {
+            9: policy.select_value(graph, view, 9),
+            4: policy.select_value(graph, view, 4),
+        }
+        picked = policy.pick(graph, view, values)
+        assert picked.coordinator == 4
+        assert picked.new_edges == ((4, 8),)
+
+    def test_policy_pick_empty_rejected(self, overlay):
+        policy = RingRepairPolicy(overlay)
+        with pytest.raises(ValueError):
+            policy.pick(overlay.knowledge_graph(), Region(frozenset({5})), {})
+
+
+class TestRepairExecutor:
+    def _decision(self, overlay, view_members, node, coordinator):
+        view = Region(frozenset(view_members))
+        return Decision(
+            time=5.0,
+            node=node,
+            view=view,
+            value=plan_for_view(overlay, view, coordinator=coordinator),
+        )
+
+    def test_apply_decisions_restores_ring(self, overlay):
+        crashed = {5, 6, 7}
+        decisions = [
+            self._decision(overlay, crashed, node, coordinator=4) for node in (3, 4, 8, 9)
+        ]
+        outcome = apply_decisions(overlay, crashed, decisions)
+        assert outcome.ring_restored
+        assert outcome.survivors_connected
+        assert outcome.installed_edges == ((4, 8),)
+        assert outcome.coordinators == {Region(frozenset(crashed)): 4}
+        assert "ring restored=True" in outcome.summary()
+
+    def test_duplicate_identical_plans_deduplicated(self, overlay):
+        crashed = {5}
+        decisions = [
+            self._decision(overlay, crashed, node, coordinator=4) for node in (3, 4, 6, 7)
+        ]
+        outcome = apply_decisions(overlay, crashed, decisions)
+        assert len(outcome.plans) == 1
+
+    def test_conflicting_plans_rejected(self, overlay):
+        crashed = {5, 6, 7}
+        first = self._decision(overlay, crashed, 4, coordinator=4)
+        second = self._decision(overlay, crashed, 8, coordinator=8)
+        with pytest.raises(RepairError):
+            apply_decisions(overlay, crashed, [first, second])
+
+    def test_non_plan_decision_rejected(self, overlay):
+        decision = Decision(
+            time=1.0, node=4, view=Region(frozenset({5})), value="not-a-plan"
+        )
+        with pytest.raises(RepairError):
+            apply_decisions(overlay, {5}, [decision])
+
+    def test_two_separate_views_both_repaired(self, overlay):
+        crashed = {2, 3, 9, 10}
+        view_a, view_b = {2, 3}, {9, 10}
+        decisions = [
+            self._decision(overlay, view_a, 1, coordinator=1),
+            self._decision(overlay, view_a, 4, coordinator=1),
+            self._decision(overlay, view_b, 8, coordinator=8),
+            self._decision(overlay, view_b, 11, coordinator=8),
+        ]
+        outcome = apply_decisions(overlay, crashed, decisions)
+        assert len(outcome.plans) == 2
+        assert outcome.ring_restored
+        assert outcome.survivors_connected

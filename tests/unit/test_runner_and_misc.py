@@ -1,0 +1,110 @@
+"""Unit tests for the run harness, the process base classes and misc pieces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CliffEdgeNode, build_simulator, region_crash, run_cliff_edge
+from repro.core import ConstantValuePolicy
+from repro.failures import CrashSchedule
+from repro.graph.generators import grid
+from repro.sim import IdleProcess, Simulator
+from repro.sim.events import EventKind
+
+from tests.support import FakeContext
+
+
+class TestBuildSimulator:
+    def test_builds_protocol_on_every_node(self, small_grid):
+        schedule = region_crash(small_grid, [(2, 2)], at=1.0)
+        sim = build_simulator(small_grid, schedule)
+        assert isinstance(sim, Simulator)
+        for node in small_grid.nodes:
+            assert isinstance(sim.process(node), CliffEdgeNode)
+
+    def test_rejects_schedule_outside_graph(self, small_grid):
+        schedule = CrashSchedule((("nope", 1.0),))
+        with pytest.raises(Exception):
+            build_simulator(small_grid, schedule)
+
+    def test_custom_policy_threaded_through(self, small_grid):
+        schedule = region_crash(small_grid, [(2, 2)], at=1.0)
+        sim = build_simulator(
+            small_grid, schedule, decision_policy=ConstantValuePolicy("custom")
+        )
+        sim.run()
+        decisions = sim.trace.of_kind(EventKind.DECIDED)
+        assert decisions
+        assert all(event.detail["decision"] == "custom" for event in decisions)
+
+    def test_early_termination_threaded_through(self, small_grid):
+        schedule = region_crash(small_grid, [(2, 2)], at=1.0)
+        sim = build_simulator(small_grid, schedule, early_termination=True)
+        node = sim.process((1, 2))
+        assert isinstance(node, CliffEdgeNode)
+        assert node.early_termination is True
+
+
+class TestRunResult:
+    @pytest.fixture(scope="class")
+    def result(self):
+        graph = grid(6, 6)
+        schedule = region_crash(graph, [(2, 2), (2, 3)], at=1.0)
+        return run_cliff_edge(graph, schedule, check=True)
+
+    def test_decided_views_and_nodes(self, result):
+        assert len(result.decided_views) == 1
+        assert result.deciding_nodes == result.graph.border({(2, 2), (2, 3)})
+
+    def test_decisions_on(self, result):
+        view = next(iter(result.decided_views))
+        assert len(result.decisions_on(view)) == len(result.deciding_nodes)
+        from repro.graph import Region
+
+        assert result.decisions_on(Region(frozenset({(0, 0)}))) == []
+
+    def test_node_accessor(self, result):
+        node = result.node((1, 2))
+        assert isinstance(node, CliffEdgeNode)
+        assert node.has_decided
+
+    def test_labels_dict(self, result):
+        result.labels["topology"] = "grid"
+        assert result.labels["topology"] == "grid"
+
+    def test_summary_contains_specification_status(self, result):
+        assert "specification CD1-CD7: holds" in result.summary()
+
+    def test_metrics_match_trace(self, result):
+        assert result.metrics.decisions == len(result.decisions)
+        assert result.metrics.messages_sent == len(result.trace.messages_sent())
+
+
+class TestIdleProcess:
+    def test_idle_process_does_nothing(self, small_grid):
+        process = IdleProcess((0, 0))
+        ctx = FakeContext(small_grid, (0, 0))
+        process.on_start(ctx)
+        process.on_crash(ctx, (0, 1))
+        process.on_message(ctx, (0, 1), "payload")
+        process.on_timer(ctx, "tag")
+        assert ctx.sent == []
+        assert ctx.monitored == set()
+
+    def test_idle_process_usable_as_factory(self, small_grid):
+        sim = Simulator(small_grid)
+        sim.populate(IdleProcess)
+        sim.schedule_crash((2, 2), 1.0)
+        sim.run()
+        # Nobody monitors anything, so the crash produces no notifications.
+        assert sim.trace.of_kind(EventKind.CRASH_NOTIFIED) == []
+
+
+class TestDescribeState:
+    def test_describe_state_transitions(self, small_grid):
+        node = CliffEdgeNode((1, 2))
+        assert "idle" in node.describe_state()
+        ctx = FakeContext(small_grid, (1, 2))
+        node.on_start(ctx)
+        node.on_crash(ctx, (2, 2))
+        assert "proposing" in node.describe_state()

@@ -1,0 +1,131 @@
+"""Unit tests for the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import EventScheduler, SchedulerError
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        scheduler = EventScheduler()
+        assert scheduler.now == 0.0
+        assert scheduler.is_idle()
+
+    def test_events_run_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(3.0, lambda: order.append("late"))
+        scheduler.schedule(1.0, lambda: order.append("early"))
+        scheduler.schedule(2.0, lambda: order.append("middle"))
+        scheduler.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_ties_run_in_insertion_order(self):
+        scheduler = EventScheduler()
+        order = []
+        for index in range(5):
+            scheduler.schedule(1.0, lambda index=index: order.append(index))
+        scheduler.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_now_advances_to_event_time(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule(2.5, lambda: seen.append(scheduler.now))
+        scheduler.run()
+        assert seen == [2.5]
+        assert scheduler.now == 2.5
+
+    def test_schedule_at_absolute_time(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule_at(4.0, lambda: seen.append(scheduler.now))
+        scheduler.run()
+        assert seen == [4.0]
+
+    def test_negative_delay_rejected(self):
+        scheduler = EventScheduler()
+        with pytest.raises(SchedulerError):
+            scheduler.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_the_past_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(5.0, lambda: None)
+        scheduler.run()
+        with pytest.raises(SchedulerError):
+            scheduler.schedule_at(1.0, lambda: None)
+
+    def test_events_can_schedule_more_events(self):
+        scheduler = EventScheduler()
+        order = []
+
+        def first():
+            order.append("first")
+            scheduler.schedule(1.0, lambda: order.append("second"))
+
+        scheduler.schedule(1.0, first)
+        scheduler.run()
+        assert order == ["first", "second"]
+        assert scheduler.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        scheduler = EventScheduler()
+        seen = []
+        handle = scheduler.schedule(1.0, lambda: seen.append("ran"))
+        handle.cancel()
+        scheduler.run()
+        assert seen == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        scheduler = EventScheduler()
+        handle = scheduler.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_pending_events_excludes_cancelled(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda: None)
+        handle = scheduler.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert scheduler.pending_events == 1
+
+    def test_handle_exposes_time(self):
+        scheduler = EventScheduler()
+        handle = scheduler.schedule(3.5, lambda: None)
+        assert handle.time == 3.5
+
+
+class TestRunBounds:
+    def test_run_until(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule(1.0, lambda: seen.append(1))
+        scheduler.schedule(5.0, lambda: seen.append(5))
+        stopped_at = scheduler.run(until=2.0)
+        assert seen == [1]
+        assert stopped_at == 2.0
+        assert not scheduler.is_idle()
+
+    def test_run_max_events(self):
+        scheduler = EventScheduler()
+        seen = []
+        for index in range(10):
+            scheduler.schedule(float(index + 1), lambda index=index: seen.append(index))
+        scheduler.run(max_events=3)
+        assert seen == [0, 1, 2]
+        assert scheduler.processed_events == 3
+
+    def test_step_returns_false_when_empty(self):
+        scheduler = EventScheduler()
+        assert scheduler.step() is False
+
+    def test_run_returns_final_time(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(7.0, lambda: None)
+        assert scheduler.run() == 7.0

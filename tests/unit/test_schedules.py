@@ -1,0 +1,220 @@
+"""Unit tests for crash schedules and fault injectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.failures import (
+    CrashSchedule,
+    ScheduleError,
+    cascade_crash,
+    growing_region_crash,
+    multi_region_crash,
+    random_connected_region,
+    random_crashes,
+    region_crash,
+)
+from repro.graph.generators import grid, torus
+
+
+@pytest.fixture
+def schedule_graph():
+    return grid(5, 5)
+
+
+class TestCrashSchedule:
+    def test_basic_fields(self):
+        schedule = CrashSchedule((("a", 1.0), ("b", 2.0)))
+        assert schedule.nodes == frozenset({"a", "b"})
+        assert schedule.last_time == 2.0
+        assert len(schedule) == 2
+        assert list(schedule) == [("a", 1.0), ("b", 2.0)]
+
+    def test_empty_schedule(self):
+        schedule = CrashSchedule()
+        assert schedule.nodes == frozenset()
+        assert schedule.last_time == 0.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ScheduleError):
+            CrashSchedule((("a", -1.0),))
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(ScheduleError):
+            CrashSchedule((("a", 1.0), ("a", 2.0)))
+
+    def test_shifted(self):
+        schedule = CrashSchedule((("a", 1.0),)).shifted(2.5)
+        assert schedule.crashes == (("a", 3.5),)
+        with pytest.raises(ScheduleError):
+            schedule.shifted(-1.0)
+
+    def test_merged_disjoint(self):
+        merged = CrashSchedule((("a", 1.0),)).merged(CrashSchedule((("b", 2.0),)))
+        assert merged.nodes == frozenset({"a", "b"})
+
+    def test_merged_overlapping_rejected(self):
+        with pytest.raises(ScheduleError):
+            CrashSchedule((("a", 1.0),)).merged(CrashSchedule((("a", 2.0),)))
+
+    def test_validate_against_graph(self, schedule_graph):
+        good = CrashSchedule((((1, 1), 1.0),))
+        good.validate(schedule_graph)
+        bad = CrashSchedule((("nope", 1.0),))
+        with pytest.raises(ScheduleError):
+            bad.validate(schedule_graph)
+
+
+class TestRegionCrash:
+    def test_simultaneous(self, schedule_graph):
+        schedule = region_crash(schedule_graph, [(1, 1), (1, 2)], at=3.0)
+        assert all(time == 3.0 for _, time in schedule)
+
+    def test_spread_spaces_crashes(self, schedule_graph):
+        schedule = region_crash(schedule_graph, [(1, 1), (1, 2), (1, 3)], at=1.0, spread=4.0)
+        times = sorted(time for _, time in schedule)
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_empty_region_rejected(self, schedule_graph):
+        with pytest.raises(ScheduleError):
+            region_crash(schedule_graph, [])
+
+    def test_disconnected_region_rejected(self, schedule_graph):
+        with pytest.raises(ScheduleError):
+            region_crash(schedule_graph, [(0, 0), (4, 4)])
+
+    def test_negative_spread_rejected(self, schedule_graph):
+        with pytest.raises(ScheduleError):
+            region_crash(schedule_graph, [(1, 1)], spread=-1.0)
+
+    def test_single_node_region(self, schedule_graph):
+        schedule = region_crash(schedule_graph, [(2, 2)], at=1.0, spread=5.0)
+        assert schedule.crashes == (((2, 2), 1.0),)
+
+
+class TestGrowingRegionCrash:
+    def test_growth_after_initial(self, schedule_graph):
+        schedule = growing_region_crash(
+            schedule_graph,
+            [(1, 1), (1, 2)],
+            growth_members=[(2, 1), (3, 1)],
+            initial_at=1.0,
+            growth_at=10.0,
+            growth_spacing=2.0,
+        )
+        times = dict(schedule.crashes)
+        assert times[(1, 1)] == 1.0
+        assert times[(2, 1)] == 10.0
+        assert times[(3, 1)] == 12.0
+
+    def test_growth_must_be_adjacent(self, schedule_graph):
+        with pytest.raises(ScheduleError):
+            growing_region_crash(
+                schedule_graph, [(1, 1)], growth_members=[(4, 4)]
+            )
+
+    def test_growth_node_in_initial_rejected(self, schedule_graph):
+        with pytest.raises(ScheduleError):
+            growing_region_crash(
+                schedule_graph, [(1, 1), (1, 2)], growth_members=[(1, 2)]
+            )
+
+    def test_unknown_growth_node_rejected(self, schedule_graph):
+        with pytest.raises(ScheduleError):
+            growing_region_crash(
+                schedule_graph, [(1, 1)], growth_members=["nope"]
+            )
+
+    def test_empty_growth_is_plain_region_crash(self, schedule_graph):
+        schedule = growing_region_crash(schedule_graph, [(1, 1)], growth_members=[])
+        assert schedule.nodes == frozenset({(1, 1)})
+
+
+class TestMultiRegionCrash:
+    def test_disjoint_regions(self, schedule_graph):
+        schedule = multi_region_crash(
+            schedule_graph, [[(0, 0), (0, 1)], [(4, 4), (4, 3)]], at=1.0, stagger=5.0
+        )
+        times = dict(schedule.crashes)
+        assert times[(0, 0)] == 1.0
+        assert times[(4, 4)] == 6.0
+
+    def test_overlapping_regions_rejected(self, schedule_graph):
+        with pytest.raises(ScheduleError):
+            multi_region_crash(schedule_graph, [[(0, 0)], [(0, 0), (0, 1)]])
+
+
+class TestRandomHelpers:
+    def test_random_connected_region_size_and_connectivity(self, schedule_graph):
+        region = random_connected_region(schedule_graph, 6, seed=3)
+        assert len(region) == 6
+        assert schedule_graph.is_connected_subset(region.members)
+
+    def test_random_connected_region_deterministic(self, schedule_graph):
+        assert (
+            random_connected_region(schedule_graph, 5, seed=9).members
+            == random_connected_region(schedule_graph, 5, seed=9).members
+        )
+
+    def test_random_connected_region_respects_forbidden(self, schedule_graph):
+        forbidden = {(x, y) for x in range(5) for y in range(5) if x < 4}
+        region = random_connected_region(schedule_graph, 2, seed=0, forbidden=forbidden)
+        assert region.members.isdisjoint(forbidden)
+
+    def test_random_connected_region_too_large(self):
+        small = grid(2, 2)
+        with pytest.raises(ScheduleError):
+            random_connected_region(small, 10, seed=0)
+
+    def test_random_connected_region_invalid_size(self, schedule_graph):
+        with pytest.raises(ScheduleError):
+            random_connected_region(schedule_graph, 0)
+
+    def test_random_crashes_count_and_determinism(self, schedule_graph):
+        first = random_crashes(schedule_graph, 4, seed=5)
+        second = random_crashes(schedule_graph, 4, seed=5)
+        assert len(first) == 4
+        assert first.crashes == second.crashes
+
+    def test_random_crashes_keep_connected_survivors(self):
+        graph = torus(5, 5)
+        schedule = random_crashes(graph, 5, seed=2, keep_connected_survivors=True)
+        survivors = graph.nodes - schedule.nodes
+        assert graph.is_connected_subset(survivors)
+
+    def test_random_crashes_too_many(self):
+        small = grid(2, 2)
+        with pytest.raises(ScheduleError):
+            random_crashes(small, 10, seed=0)
+
+    def test_random_crashes_negative_rejected(self, schedule_graph):
+        with pytest.raises(ScheduleError):
+            random_crashes(schedule_graph, -1)
+
+
+class TestCascadeCrash:
+    def test_cascade_grows_connected(self, schedule_graph):
+        schedule = cascade_crash(schedule_graph, (2, 2), 6, start=1.0, spacing=1.0)
+        assert len(schedule) == 6
+        assert schedule_graph.is_connected_subset(schedule.nodes)
+        times = [time for _, time in schedule]
+        assert times == sorted(times)
+
+    def test_cascade_starts_at_seed(self, schedule_graph):
+        schedule = cascade_crash(schedule_graph, (2, 2), 3)
+        assert schedule.crashes[0][0] == (2, 2)
+
+    def test_cascade_too_large(self):
+        small = grid(2, 2)
+        with pytest.raises(ScheduleError):
+            cascade_crash(small, (0, 0), 10)
+
+    def test_cascade_unknown_seed(self, schedule_graph):
+        from repro.graph import GraphError
+
+        with pytest.raises(GraphError):
+            cascade_crash(schedule_graph, "nope", 2)
+
+    def test_cascade_invalid_size(self, schedule_graph):
+        with pytest.raises(ScheduleError):
+            cascade_crash(schedule_graph, (0, 0), 0)

@@ -1,0 +1,180 @@
+"""Unit tests for table rendering and for the figure topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.tables import (
+    format_markdown_table,
+    format_table,
+    rows_to_csv,
+    summarise_numeric,
+)
+from repro.experiments.topologies import (
+    FIG1_BYSTANDERS,
+    FIG1_F1,
+    FIG1_F1_BORDER,
+    FIG1_F2,
+    FIG1_F2_BORDER,
+    FIG1_F3,
+    FIG1_F3_BORDER,
+    fig1_region_f1,
+    fig1_region_f2,
+    fig1_region_f3,
+    fig1_topology,
+    fig2_topology,
+    fig3_topology,
+)
+from repro.graph import faulty_clusters, faulty_domains
+
+
+ROWS = [
+    {"name": "alpha", "count": 3, "ratio": 1.5, "ok": True},
+    {"name": "beta", "count": 12, "ratio": 0.25, "ok": False, "extra": None},
+]
+
+
+class TestTables:
+    def test_format_table_alignment_and_content(self):
+        text = format_table(ROWS, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "count" in lines[1]
+        assert any("alpha" in line for line in lines)
+        assert any("0.25" in line for line in lines)
+        assert any("yes" in line for line in lines)
+        assert any("-" in line for line in lines)
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+        assert format_table([], title="t").startswith("t")
+
+    def test_format_table_explicit_columns(self):
+        text = format_table(ROWS, columns=["count", "name"])
+        header = text.splitlines()[0]
+        assert header.index("count") < header.index("name")
+
+    def test_markdown_table(self):
+        text = format_markdown_table(ROWS)
+        lines = text.splitlines()
+        assert lines[0].startswith("| name |")
+        assert lines[1].startswith("| ---")
+        assert len(lines) == 2 + len(ROWS)
+
+    def test_markdown_table_empty(self):
+        assert format_markdown_table([]) == "(no rows)"
+
+    def test_rows_to_csv(self):
+        text = rows_to_csv(ROWS)
+        lines = text.splitlines()
+        assert lines[0].startswith("name,count")
+        assert "alpha,3" in lines[1]
+        assert rows_to_csv([]) == ""
+
+    def test_rows_to_csv_quoting(self):
+        text = rows_to_csv([{"name": 'has,comma "quoted"'}])
+        assert '"has,comma ""quoted"""' in text
+
+    def test_summarise_numeric(self):
+        summary = summarise_numeric(ROWS, "count")
+        assert summary["min"] == 3
+        assert summary["max"] == 12
+        assert summary["mean"] == 7.5
+
+    def test_summarise_numeric_empty(self):
+        import math
+
+        summary = summarise_numeric([], "count")
+        assert math.isnan(summary["mean"])
+
+
+class TestFig1Topology:
+    def test_regions_are_connected(self):
+        graph = fig1_topology()
+        assert fig1_region_f1(graph).members == FIG1_F1
+        assert fig1_region_f2(graph).members == FIG1_F2
+        assert fig1_region_f3(graph).members == FIG1_F3
+
+    def test_borders_match_the_paper(self):
+        graph = fig1_topology()
+        assert graph.border(FIG1_F1) == FIG1_F1_BORDER
+        assert graph.border(FIG1_F2) == FIG1_F2_BORDER
+        assert graph.border(FIG1_F3) == FIG1_F3_BORDER
+
+    def test_f3_is_f1_plus_paris(self):
+        assert FIG1_F3 == FIG1_F1 | {"paris"}
+        assert "berlin" in FIG1_F3_BORDER
+        assert "paris" not in FIG1_F3_BORDER
+
+    def test_bystanders_never_border_crashed_regions(self):
+        graph = fig1_topology()
+        for bystander in FIG1_BYSTANDERS:
+            assert bystander not in FIG1_F1_BORDER
+            assert bystander not in FIG1_F2_BORDER
+            assert bystander not in FIG1_F3_BORDER
+            assert bystander in graph
+
+    def test_graph_connected_and_f1_f2_disjoint_clusters(self):
+        graph = fig1_topology()
+        assert graph.is_connected()
+        clusters = faulty_clusters(graph, FIG1_F1 | FIG1_F2)
+        assert len(clusters) == 2
+
+    def test_survivors_stay_connected_after_f3(self):
+        graph = fig1_topology()
+        assert graph.is_connected_subset(graph.nodes - FIG1_F3 - FIG1_F2)
+
+
+class TestFig2Topology:
+    def test_four_domains_one_cluster(self):
+        layout = fig2_topology()
+        domains = faulty_domains(layout.graph, layout.all_faulty())
+        assert len(domains) == 4
+        clusters = faulty_clusters(layout.graph, layout.all_faulty())
+        assert len(clusters) == 1
+
+    def test_chain_adjacency(self):
+        from repro.graph import are_adjacent
+
+        layout = fig2_topology()
+        regions = sorted(layout.regions(), key=lambda r: sorted(map(repr, r.members)))
+        by_name = {next(iter(sorted(map(repr, r.members))))[1:3]: r for r in regions}
+        f1, f2, f3, f4 = (by_name[k] for k in ("f1", "f2", "f3", "f4"))
+        assert are_adjacent(layout.graph, f1, f2)
+        assert are_adjacent(layout.graph, f2, f3)
+        assert are_adjacent(layout.graph, f3, f4)
+        assert not are_adjacent(layout.graph, f1, f3)
+        assert not are_adjacent(layout.graph, f1, f4)
+
+    def test_borders_are_correct_nodes(self):
+        layout = fig2_topology()
+        faulty = layout.all_faulty()
+        for region in layout.regions():
+            assert region.border(layout.graph).isdisjoint(faulty)
+
+    def test_graph_connected(self):
+        layout = fig2_topology()
+        assert layout.graph.is_connected()
+        assert layout.graph.is_connected_subset(layout.graph.nodes - layout.all_faulty())
+
+
+class TestFig3Topology:
+    def test_waves_are_disjoint_and_adjacent(self):
+        layout = fig3_topology()
+        assert layout.first_wave.isdisjoint(layout.second_wave)
+        for node in layout.second_wave:
+            assert layout.graph.neighbours(node) & layout.first_wave
+
+    def test_second_wave_is_part_of_first_border(self):
+        layout = fig3_topology()
+        border = layout.graph.border(layout.first_wave)
+        assert set(layout.second_wave) <= border
+
+    def test_combined_region_connected(self):
+        layout = fig3_topology()
+        assert layout.graph.is_connected_subset(layout.combined)
+
+    def test_survivors_connected_after_both_waves(self):
+        layout = fig3_topology()
+        survivors = layout.graph.nodes - layout.combined
+        assert layout.graph.is_connected_subset(survivors)
