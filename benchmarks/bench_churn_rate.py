@@ -1,0 +1,56 @@
+"""CHURN-1 benchmark: protocol cost as a function of the churn rate.
+
+Sweeps the steady-state churn rate on a torus and times the whole run
+(detection, agreement and epoch bookkeeping for every crash→recover
+cycle).  The paper's locality claim extends to churn: the per-cycle cost
+depends on the churned region's border, not on the system size or the
+number of concurrent cycles, so messages should scale linearly with the
+number of cycles and the specification must hold at every rate.
+
+Set ``REPRO_BENCH_SMOKE=1`` to run a reduced sweep (used by CI as a fast
+smoke test).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.churn import run_churn, steady_state_churn
+from repro.graph.generators import torus
+
+from conftest import attach_metrics
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+SIDE = 6 if SMOKE else 8
+RATES = (0.02, 0.05) if SMOKE else (0.01, 0.02, 0.05, 0.1)
+DURATION = 40.0 if SMOKE else 100.0
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_churn_rate_sweep(benchmark, rate):
+    graph = torus(SIDE, SIDE)
+    schedule, membership = steady_state_churn(
+        graph, churn_rate=rate, duration=DURATION, seed=7
+    )
+
+    def run():
+        return run_churn(graph, schedule, membership, check=True)
+
+    result = benchmark(run)
+    assert result.quiescent
+    assert result.specification.holds, result.specification.summary()
+    cycles = len(membership)
+    # Every recovered region re-announces and is re-agreed: at least one
+    # decision per cycle, and message cost proportional to cycles, not |Pi|.
+    assert result.metrics.decisions >= cycles
+    attach_metrics(
+        benchmark,
+        result,
+        churn_rate=rate,
+        cycles=cycles,
+        epochs=len(result.epochs),
+        messages_per_cycle=result.metrics.messages_sent / max(cycles, 1),
+    )

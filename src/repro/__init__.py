@@ -18,6 +18,17 @@ True
 1
 """
 
+from .churn import (
+    ChurnRunResult,
+    MembershipEvent,
+    MembershipSchedule,
+    check_churn_all,
+    crash_recover_recrash,
+    flash_crowd_joins,
+    run_churn,
+    run_churn_asyncio,
+    steady_state_churn,
+)
 from .core import (
     CliffEdgeNode,
     CoordinatorElectionPolicy,
@@ -80,6 +91,16 @@ __all__ = [
     "multi_region_crash",
     "random_crashes",
     "cascade_crash",
+    # Churn (dynamic membership)
+    "MembershipEvent",
+    "MembershipSchedule",
+    "ChurnRunResult",
+    "run_churn",
+    "run_churn_asyncio",
+    "check_churn_all",
+    "crash_recover_recrash",
+    "steady_state_churn",
+    "flash_crowd_joins",
     # Simulation substrate
     "Simulator",
     "ConstantLatency",

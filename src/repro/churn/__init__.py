@@ -1,0 +1,75 @@
+"""Dynamic membership (churn): joins, recoveries, leaves, and the
+epoch-quotiented CD1–CD7 specification.
+
+The paper's protocol assumes a static graph and permanent crashes.  This
+package removes both assumptions while keeping the specification
+checkable:
+
+* :mod:`repro.churn.membership` — immutable timed join/recover/leave
+  schedules composing with :class:`~repro.failures.CrashSchedule`, plus
+  builders for the churn scenario families;
+* :mod:`repro.churn.attachment` — edge re-attachment policies for nodes
+  entering a new membership epoch;
+* :mod:`repro.churn.epochs` — slicing a churned trace into
+  constant-membership epochs with their graphs;
+* :mod:`repro.churn.properties` — the epoch-quotiented CD1–CD7 checkers;
+* :mod:`repro.churn.runner` — one-call execution on the simulator and the
+  asyncio runtime.
+"""
+
+from .attachment import (
+    AttachmentError,
+    AttachmentPolicy,
+    FreshJoinByLocality,
+    RejoinOldEdges,
+    RejoinViaRepairPlan,
+)
+from .epochs import MembershipEpoch, build_epochs
+from .membership import (
+    MembershipError,
+    MembershipEvent,
+    MembershipEventKind,
+    MembershipSchedule,
+    crash_recover_recrash,
+    flash_crowd_joins,
+    join,
+    leave,
+    recover,
+    recovery_for,
+    steady_state_churn,
+)
+from .properties import (
+    ChurnGroundTruth,
+    assert_churn_specification,
+    build_ground_truth,
+    check_churn_all,
+)
+from .runner import ChurnRunResult, run_churn, run_churn_asyncio
+
+__all__ = [
+    "AttachmentError",
+    "AttachmentPolicy",
+    "RejoinOldEdges",
+    "RejoinViaRepairPlan",
+    "FreshJoinByLocality",
+    "MembershipEpoch",
+    "build_epochs",
+    "MembershipError",
+    "MembershipEvent",
+    "MembershipEventKind",
+    "MembershipSchedule",
+    "join",
+    "recover",
+    "leave",
+    "recovery_for",
+    "crash_recover_recrash",
+    "steady_state_churn",
+    "flash_crowd_joins",
+    "ChurnGroundTruth",
+    "build_ground_truth",
+    "check_churn_all",
+    "assert_churn_specification",
+    "ChurnRunResult",
+    "run_churn",
+    "run_churn_asyncio",
+]

@@ -1,0 +1,149 @@
+"""Edge re-attachment policies for joining and recovering nodes.
+
+When a node (re)enters the system the runtimes must decide which edges the
+new membership epoch's knowledge graph gives it.  A policy is any object
+with a ``neighbours_for`` method; the three shipped here cover the cases
+the churn scenario family exercises:
+
+* :class:`RejoinOldEdges` — the node comes back exactly where it was
+  (a process restart on the same host: its neighbours still know it);
+* :class:`RejoinViaRepairPlan` — the node re-enters through the nodes that
+  agreed on (and repaired around) its crashed region, i.e. the live border
+  of the region it belonged to — the natural policy when the overlay was
+  repaired while the node was down and its old edges are gone;
+* :class:`FreshJoinByLocality` — a brand-new node attaches to a small set
+  of live nodes found by breadth-first search around an anchor, the
+  locality-aware bootstrap of DHT-style overlays.
+
+Policies are resolved *at event time* against the then-current graph, the
+pre-churn base graph, and the ground-truth crashed set, so they can react
+to whatever the run has done so far.  They deliberately never attach a
+joining node to a crashed node: a newborn cannot have learned about a dead
+host, and (usefully for the protocol) this keeps fresh joiners out of the
+borders of in-flight consensus instances.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from collections import deque
+
+from ..graph import GraphError, KnowledgeGraph, NodeId
+
+
+class AttachmentError(ValueError):
+    """Raised when a policy cannot produce any attachment edge."""
+
+
+class AttachmentPolicy(abc.ABC):
+    """Decides the neighbour set of a node entering a new epoch."""
+
+    @abc.abstractmethod
+    def neighbours_for(
+        self,
+        node: NodeId,
+        *,
+        current: KnowledgeGraph,
+        base: KnowledgeGraph,
+        crashed: frozenset[NodeId],
+        rng: random.Random,
+    ) -> frozenset[NodeId]:
+        """The neighbours ``node`` attaches to in the new epoch."""
+
+
+class RejoinOldEdges(AttachmentPolicy):
+    """Recover with exactly the edges the node had before it crashed.
+
+    The node's adjacency is read from the *current* graph (crashed nodes
+    stay in the graph, so their edges are still known) and falls back to
+    the base graph for robustness.  Old neighbours that are themselves
+    crashed are kept: rejoining into a half-dead neighbourhood is exactly
+    the situation the crash-recover race scenarios probe.
+    """
+
+    def neighbours_for(self, node, *, current, base, crashed, rng):
+        source = current if node in current else base
+        try:
+            neighbours = source.neighbours(node)
+        except GraphError:
+            raise AttachmentError(
+                f"{node!r} has no known old edges to rejoin with"
+            ) from None
+        kept = frozenset(n for n in neighbours if n in current)
+        if not kept:
+            raise AttachmentError(f"all old neighbours of {node!r} are gone")
+        return kept
+
+
+class RejoinViaRepairPlan(AttachmentPolicy):
+    """Recover through the nodes that agreed on the node's crashed region.
+
+    The rejoining node attaches to the live border of the crashed region
+    it currently belongs to — the nodes that (per CD4/CD5) decided on the
+    region and executed the repair plan, and are therefore the ones a
+    rejoining node would contact.  Falls back to the old edges when the
+    whole border is dead.
+    """
+
+    def neighbours_for(self, node, *, current, base, crashed, rng):
+        if node not in crashed or node not in current:
+            raise AttachmentError(
+                f"{node!r} is not a known crashed node; repair-plan rejoin "
+                "only applies to recoveries"
+            )
+        component = {node}
+        frontier = [node]
+        dead = set(crashed) | {node}
+        while frontier:
+            member = frontier.pop()
+            for neighbour in current.neighbours(member):
+                if neighbour in dead and neighbour not in component:
+                    component.add(neighbour)
+                    frontier.append(neighbour)
+        live_border = current.border(component) - crashed
+        if live_border:
+            return frozenset(live_border)
+        return RejoinOldEdges().neighbours_for(
+            node, current=current, base=base, crashed=crashed, rng=rng
+        )
+
+
+class FreshJoinByLocality(AttachmentPolicy):
+    """Attach a brand-new node to ``fanout`` live nodes near an anchor.
+
+    The anchor defaults to a seeded-random live node; the search then
+    walks the current graph breadth-first (through live nodes only, in
+    deterministic ``repr`` order) and keeps the first ``fanout`` live
+    nodes it meets.  This mimics the locality-aware bootstrap of
+    structured overlays: a newcomer is handed a nearby contact and learns
+    that contact's neighbourhood.
+    """
+
+    def __init__(self, fanout: int = 2, anchor: NodeId | None = None) -> None:
+        if fanout < 1:
+            raise AttachmentError("fanout must be at least 1")
+        self.fanout = fanout
+        self.anchor = anchor
+
+    def neighbours_for(self, node, *, current, base, crashed, rng):
+        live = sorted((n for n in current.nodes if n not in crashed), key=repr)
+        if not live:
+            raise AttachmentError("no live node to attach to")
+        anchor = self.anchor
+        if anchor is None or anchor not in current or anchor in crashed:
+            anchor = live[rng.randrange(len(live))]
+        chosen: list[NodeId] = []
+        seen = {anchor}
+        queue = deque([anchor])
+        while queue and len(chosen) < self.fanout:
+            candidate = queue.popleft()
+            if candidate not in crashed and candidate != node:
+                chosen.append(candidate)
+            for neighbour in sorted(current.neighbours(candidate), key=repr):
+                if neighbour not in seen and neighbour not in crashed:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+        if not chosen:
+            raise AttachmentError(f"no live attachment found for {node!r}")
+        return frozenset(chosen)

@@ -1,0 +1,216 @@
+"""High-level harness for churn scenarios on both runtimes.
+
+Mirrors :mod:`repro.experiments.runner` for dynamic-membership workloads:
+:func:`run_churn` executes a ``(CrashSchedule, MembershipSchedule)`` pair
+on the deterministic simulator, :func:`run_churn_asyncio` on the asyncio
+runtime, and both package the outcome — trace, metrics, decisions,
+reconstructed membership epochs, and the epoch-quotiented CD1–CD7 report —
+into a :class:`ChurnRunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..core import CliffEdgeNode, DEFAULT_DECISION_POLICY, DecisionPolicy
+from ..core.properties import Decision, SpecificationReport, extract_decisions
+from ..failures import CrashSchedule
+from ..graph import DEFAULT_RANKING, KnowledgeGraph, NodeId, Region, RegionRanking
+from ..runtime import run_cliff_edge_asyncio
+from ..sim import (
+    ConstantLatency,
+    FailureDetectorPolicy,
+    LatencyModel,
+    PerfectFailureDetector,
+    Simulator,
+)
+from ..sim.process import Process
+from ..trace import RunMetrics, TraceRecorder, collect_metrics
+from .epochs import MembershipEpoch, build_epochs
+from .membership import MembershipEventKind, MembershipSchedule
+from .properties import check_churn_all
+
+
+@dataclass
+class ChurnRunResult:
+    """Outcome of one churned protocol run (either runtime)."""
+
+    #: The topology before any membership event.
+    base_graph: KnowledgeGraph
+    #: The topology after the last membership event.
+    final_graph: KnowledgeGraph
+    schedule: CrashSchedule
+    membership: MembershipSchedule
+    trace: TraceRecorder
+    metrics: RunMetrics
+    decisions: list[Decision]
+    #: The membership epochs of the run, reconstructed from the trace.
+    epochs: list[MembershipEpoch]
+    #: Which runtime produced the run ("sim" or "asyncio").
+    runtime: str = "sim"
+    #: False when the asyncio runtime hit its timeout before quiescence.
+    quiescent: bool = True
+    #: None until :meth:`check_specification` runs (or ``check=True``).
+    specification: Optional[SpecificationReport] = None
+    labels: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def graph(self) -> KnowledgeGraph:
+        """Alias for :attr:`final_graph` (RunResult-compatible surface)."""
+        return self.final_graph
+
+    @property
+    def decided_views(self) -> frozenset[Region]:
+        return frozenset(decision.view for decision in self.decisions)
+
+    @property
+    def deciding_nodes(self) -> frozenset[NodeId]:
+        return frozenset(decision.node for decision in self.decisions)
+
+    @property
+    def decided_view_multiset(self) -> tuple[tuple[NodeId, ...], ...]:
+        """Every decision's view (sorted members), in decision order.
+
+        Unlike :attr:`decided_views` this keeps re-decisions of the same
+        region in later epochs distinguishable, which the cross-runtime
+        equivalence tests compare.
+        """
+        return tuple(
+            tuple(sorted(decision.view.members, key=repr))
+            for decision in self.decisions
+        )
+
+    def decisions_on(self, view: Region) -> list[Decision]:
+        return [decision for decision in self.decisions if decision.view == view]
+
+    def check_specification(self, include_liveness: bool = True) -> SpecificationReport:
+        """Run the epoch-quotiented CD1–CD7 checkers and cache the report."""
+        self.specification = check_churn_all(
+            self.base_graph,
+            self.trace,
+            include_liveness=include_liveness,
+            epochs=self.epochs,
+        )
+        return self.specification
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary (used by the CLI/examples)."""
+        joins = len(self.membership.of_kind(MembershipEventKind.JOIN))
+        recoveries = len(self.membership.of_kind(MembershipEventKind.RECOVER))
+        leaves = len(self.membership.of_kind(MembershipEventKind.LEAVE))
+        lines = [
+            f"nodes={len(self.base_graph)}->{len(self.final_graph)} "
+            f"edges={self.base_graph.edge_count}->{self.final_graph.edge_count} "
+            f"crashes={len(self.schedule)} joins={joins} "
+            f"recoveries={recoveries} leaves={leaves} "
+            f"epochs={len(self.epochs)}",
+            f"messages={self.metrics.messages_sent} "
+            f"bytes={self.metrics.bytes_sent} "
+            f"speaking_nodes={self.metrics.speaking_nodes}",
+            f"decisions={self.metrics.decisions} "
+            f"views={self.metrics.decided_views} "
+            f"rejections={self.metrics.rejections} "
+            f"failed_instances={self.metrics.failed_instances}",
+        ]
+        for members in sorted(set(self.decided_view_multiset)):
+            count = self.decided_view_multiset.count(members)
+            times = f" x{count}" if count > 1 else ""
+            lines.append(f"view {list(map(repr, members))} decided{times}")
+        if self.specification is not None:
+            status = "holds" if self.specification.holds else "VIOLATED"
+            lines.append(f"epoch-quotiented specification CD1-CD7: {status}")
+        return "\n".join(lines)
+
+
+def run_churn(
+    graph: KnowledgeGraph,
+    schedule: CrashSchedule,
+    membership: MembershipSchedule,
+    decision_policy: DecisionPolicy = DEFAULT_DECISION_POLICY,
+    ranking: RegionRanking = DEFAULT_RANKING,
+    latency: Optional[LatencyModel] = None,
+    failure_detector: Optional[FailureDetectorPolicy] = None,
+    seed: int = 0,
+    node_factory: Optional[Callable[[NodeId], Process]] = None,
+    check: bool = False,
+    max_events: int = 5_000_000,
+    until: Optional[float] = None,
+) -> ChurnRunResult:
+    """Run a churn scenario on the deterministic simulator."""
+    membership.validate(graph, schedule)
+    sim = Simulator(
+        graph,
+        latency=latency if latency is not None else ConstantLatency(1.0),
+        failure_detector=(
+            failure_detector
+            if failure_detector is not None
+            else PerfectFailureDetector(1.0)
+        ),
+        seed=seed,
+    )
+
+    def default_factory(node_id: NodeId) -> CliffEdgeNode:
+        return CliffEdgeNode(node_id, decision_policy=decision_policy, ranking=ranking)
+
+    sim.populate(node_factory if node_factory is not None else default_factory)
+    # One canonical merged timeline (crash-first on timestamp ties) keeps
+    # the simulator's tie-breaking identical to validate() and asyncio.
+    membership.applied_to(sim, crashes=schedule)
+    sim.run(until=until, max_events=max_events)
+    trace = sim.trace
+    result = ChurnRunResult(
+        base_graph=graph,
+        final_graph=sim.graph,
+        schedule=schedule,
+        membership=membership,
+        trace=trace,
+        metrics=collect_metrics(trace),
+        decisions=extract_decisions(trace),
+        epochs=build_epochs(graph, trace),
+        runtime="sim",
+        quiescent=sim.is_quiescent(),
+    )
+    if check:
+        result.check_specification(include_liveness=sim.is_quiescent())
+    return result
+
+
+def run_churn_asyncio(
+    graph: KnowledgeGraph,
+    schedule: CrashSchedule,
+    membership: MembershipSchedule,
+    node_factory: Optional[Callable[[NodeId], Process]] = None,
+    detection_delay: float = 0.01,
+    time_scale: float = 0.01,
+    timeout: float = 60.0,
+    seed: int = 0,
+    check: bool = False,
+) -> ChurnRunResult:
+    """Run the same churn scenario on the asyncio runtime."""
+    membership.validate(graph, schedule)
+    async_result = run_cliff_edge_asyncio(
+        graph,
+        schedule,
+        node_factory=node_factory if node_factory is not None else CliffEdgeNode,
+        detection_delay=detection_delay,
+        time_scale=time_scale,
+        timeout=timeout,
+        membership=membership,
+        seed=seed,
+    )
+    result = ChurnRunResult(
+        base_graph=graph,
+        final_graph=async_result.graph,
+        schedule=schedule,
+        membership=membership,
+        trace=async_result.trace,
+        metrics=async_result.metrics,
+        decisions=async_result.decisions,
+        epochs=build_epochs(graph, async_result.trace),
+        runtime="asyncio",
+        quiescent=async_result.quiescent,
+    )
+    if check:
+        result.check_specification(include_liveness=async_result.quiescent)
+    return result

@@ -22,6 +22,9 @@ from collections.abc import Sequence
 from typing import Callable
 
 from .experiments import (
+    churn_flash_crowd_scenario,
+    churn_recovery_race_scenario,
+    churn_steady_scenario,
     fig1a_scenario,
     format_table,
     locality_is_flat,
@@ -118,6 +121,41 @@ def _cmd_sweep(args: argparse.Namespace, write: Callable[[str], object]) -> int:
     return 0 if summary["all_hold"] else 1
 
 
+def _cmd_churn(args: argparse.Namespace, write: Callable[[str], object]) -> int:
+    if args.scenario == "steady":
+        scenario = churn_steady_scenario(
+            nodes=args.nodes,
+            churn_rate=args.churn_rate,
+            duration=args.duration,
+            seed=args.seed,
+        )
+    elif args.scenario == "race":
+        scenario = churn_recovery_race_scenario(nodes=args.nodes, seed=args.seed)
+    else:
+        scenario = churn_flash_crowd_scenario(nodes=args.nodes, seed=args.seed)
+    write(f"scenario: {scenario.name} — {scenario.description}")
+    runtimes = ["sim", "asyncio"] if args.runtime == "both" else [args.runtime]
+    results = []
+    for runtime in runtimes:
+        result = scenario.run(check=True, seed=args.seed, runtime=runtime)
+        results.append(result)
+        write("")
+        write(f"=== {runtime} runtime ===")
+        write(result.summary())
+        write(result.specification.summary())
+    ok = all(r.specification.holds and r.quiescent for r in results)
+    if len(results) == 2:
+        # Distinct decided views must agree across runtimes.  The per-epoch
+        # decision counts may legitimately differ on racy scenarios: whether
+        # a recovery beats the in-flight agreement is a timing question, and
+        # both outcomes satisfy the epoch-quotiented specification.
+        agree = results[0].decided_views == results[1].decided_views
+        write("")
+        write(f"runtimes decided identical views: {agree}")
+        ok = ok and agree
+    return 0 if ok else 1
+
+
 def _cmd_report(args: argparse.Namespace, write: Callable[[str], object]) -> int:
     sections = build_report(quick=args.quick)
     write(render_report(sections, markdown=args.markdown))
@@ -154,6 +192,34 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep", help="EXP-C1 adversarial property sweep")
     sweep.add_argument("--cases", type=int, default=10)
     sweep.set_defaults(func=_cmd_sweep)
+
+    churn = sub.add_parser(
+        "churn", help="dynamic-membership scenarios (joins, recoveries, leaves)"
+    )
+    churn.add_argument(
+        "--scenario",
+        choices=["steady", "race", "flash"],
+        default="steady",
+        help="steady churn sweep, crash-recover-recrash race, or flash-crowd joins",
+    )
+    churn.add_argument("--nodes", type=int, default=64, help="approximate torus size")
+    churn.add_argument(
+        "--churn-rate",
+        type=float,
+        default=0.05,
+        dest="churn_rate",
+        help="fraction of the population starting a crash-recover cycle per time unit",
+    )
+    churn.add_argument("--duration", type=float, default=100.0)
+    churn.add_argument(
+        "--runtime", choices=["sim", "asyncio", "both"], default="sim"
+    )
+    # Accept --seed after the subcommand too (it is also a global option);
+    # SUPPRESS keeps a pre-subcommand --seed intact when absent here.
+    churn.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="deterministic seed"
+    )
+    churn.set_defaults(func=_cmd_churn)
 
     report = sub.add_parser("report", help="regenerate every experiment table")
     report.add_argument("--quick", action="store_true")

@@ -47,7 +47,7 @@ from ..graph import (
     RegionRanking,
 )
 from ..sim.events import EventKind
-from ..sim.process import Process, ProcessContext
+from ..sim.process import MembershipChange, Process, ProcessContext
 from .decisions import DEFAULT_DECISION_POLICY, DecisionPolicy
 from .messages import RoundMessage
 from .opinions import REJECT, Accept, OpinionVector, is_accept, is_reject
@@ -112,6 +112,9 @@ class CliffEdgeNode(Process):
         #: Value proposed for the current instance, else None (``proposed``).
         self.proposed: Optional[Any] = None
         #: Crashes this node has been notified of (``locallyCrashed``).
+        #: Under churn, graceful leaves are announced through the same
+        #: channel and land here too: an announced shutdown is fail-stop
+        #: by choice, and the border must agree on it all the same.
         self.locally_crashed: set[NodeId] = set()
         #: Highest-ranked crashed region known so far (``maxView``).
         self.max_view: Optional[Region] = None
@@ -167,7 +170,14 @@ class CliffEdgeNode(Process):
         best = self.ranking.max_ranked(ctx.graph, regions)  # type: ignore[attr-defined]
         if self.max_view is None or self.ranking.precedes(ctx.graph, self.max_view, best):
             self.max_view = best
-            self.candidate_view = best
+            # In the static model this node always borders ``best`` (each
+            # notified crash is adjacent to a known one or to the node
+            # itself), so the guard is a no-op there.  Under churn, stale
+            # cross-epoch detector state can notify crashes out of
+            # adjacency order; a node that does not (yet) border the
+            # region must not propose it.
+            if self.node_id in ctx.graph.border(best.members):
+                self.candidate_view = best
         self._evaluate_guards(ctx)
 
     def on_message(self, ctx: ProcessContext, sender: NodeId, message: Any) -> None:
@@ -180,6 +190,27 @@ class CliffEdgeNode(Process):
             return
         if view not in self.received:
             self._initialise_instance_state(view, message.border)
+        elif message.border != self.instance_border[view]:
+            # Churn extension: the same view proposed with two different
+            # borders can only happen across membership epochs (within an
+            # epoch the border is a function of the static graph).  Decide
+            # which side is stale by asking the current graph.
+            current_border = frozenset(ctx.graph.border(view.members))
+            if message.border != current_border or view == self.decided_view:
+                # The *message* is the leftover of a closed epoch (or we
+                # already decided on this view); ignore it.
+                return
+            # Our *local instance* is the leftover: restart it against the
+            # current border, re-arming our own proposal so the usual
+            # lines 12-17 machinery re-enters the fresh instance.
+            self._drop_instance_state(view)
+            if self.current_view == view:
+                self.proposed = None
+                self.current_view = None
+                self.round = 0
+                if self.decided is None and self.node_id in current_border:
+                    self.candidate_view = view
+            self._initialise_instance_state(view, message.border)
         round_vector = self.opinions[view].get(message.round)
         if round_vector is None:
             raise ProtocolError(
@@ -190,7 +221,16 @@ class CliffEdgeNode(Process):
         rejectors = {
             node for node, opinion in message.opinions.items() if is_reject(opinion)
         }
-        self.waiting[view][message.round] -= {sender} | rejectors
+        self.waiting[view][message.round] -= {sender}
+        if rejectors:
+            # A rejector has permanently left this instance (line 31): it
+            # will never send a message for *any* round of this view, so
+            # no round may wait for it.  Removing it only from the current
+            # round can livelock a proposer whose later-round waiting sets
+            # still name the rejector while every potential relayer has
+            # already discarded the view.
+            for waiting_round in self.waiting[view].values():
+                waiting_round -= rejectors
         if self.early_termination:
             border = self.instance_border[view]
             carried_complete = border <= {
@@ -203,6 +243,97 @@ class CliffEdgeNode(Process):
                     message.round, set()
                 ).add(sender)
         self._evaluate_guards(ctx)
+
+    def on_membership(self, ctx: ProcessContext, change: MembershipChange) -> None:
+        """Churn extension: fold a membership announcement into local state.
+
+        Not part of Algorithm 1 (the paper's model is crash-only; see
+        :mod:`repro.churn`).  A join or recovery makes ``change.node``
+        live, so every piece of state about a view containing it belongs
+        to a closed membership epoch and is discarded — including a
+        *decision* on such a view, which re-arms the node so it can decide
+        again should the region re-crash (the epoch-quotiented CD1 of
+        :mod:`repro.churn.properties` permits exactly this).
+
+        Graceful leaves normally reach the protocol as ordinary crash
+        notifications (an announced shutdown is fail-stop by choice, and
+        the border must agree on the departed region all the same); a
+        leave arriving here — a custom runtime delivering it directly —
+        is folded in the same way.
+        """
+        node = change.node
+        if not change.alive:
+            if node not in self.locally_crashed:
+                self.on_crash(ctx, node)
+            return
+        self.locally_crashed.discard(node)
+        self._purge_views_containing(ctx, node)
+        # Re-read the neighbourhood: edges may have changed with the epoch,
+        # and a recovered neighbour must be monitored afresh so a re-crash
+        # is detected (subscriptions are per-incarnation).
+        to_monitor = (
+            ctx.graph.neighbours(self.node_id) - self.locally_crashed - {self.node_id}
+        )
+        if to_monitor:
+            ctx.monitor_crash(to_monitor)
+        self._recompute_candidate(ctx)
+        self._evaluate_guards(ctx)
+
+    def _drop_instance_state(self, view: Region) -> None:
+        """Forget all per-instance bookkeeping for ``view``."""
+        self.received.discard(view)
+        self.rejected.discard(view)
+        self.opinions.pop(view, None)
+        self.waiting.pop(view, None)
+        self.instance_border.pop(view, None)
+        self.complete_senders.pop(view, None)
+
+    def _purge_views_containing(self, ctx: ProcessContext, node: NodeId) -> None:
+        """Drop every tracked view containing ``node`` (now live again)."""
+        stale = {
+            view
+            for view in set(self.received) | set(self.rejected) | set(self.opinions)
+            if node in view.members
+        }
+        for view in stale:
+            self._drop_instance_state(view)
+        if self.candidate_view is not None and node in self.candidate_view.members:
+            self.candidate_view = None
+        if self.decided_view is not None and node in self.decided_view.members:
+            # The decision concerned a region of a closed epoch; it stays
+            # in the trace, but this node may participate (and decide)
+            # again in the new epoch.
+            self.decided = None
+            self.decided_view = None
+            self.proposed = None
+            self.current_view = None
+            self.round = 0
+        elif self.current_view is not None and node in self.current_view.members:
+            # The in-flight instance is about a region that no longer
+            # exists; abandon it without counting a protocol failure.
+            self.proposed = None
+            self.current_view = None
+            self.round = 0
+
+    def _recompute_candidate(self, ctx: ProcessContext) -> None:
+        """Re-derive ``maxView``/``candidateView`` after an epoch change."""
+        self.locally_crashed = {
+            crashed for crashed in self.locally_crashed if crashed in ctx.graph
+        }
+        if self.locally_crashed:
+            components = ctx.graph.connected_components(self.locally_crashed)
+            regions = [Region(component) for component in components]
+            best = self.ranking.max_ranked(ctx.graph, regions)  # type: ignore[attr-defined]
+            self.max_view = best
+            if (
+                self.decided is None
+                and self.proposed is None
+                and best != self.current_view
+                and self.node_id in ctx.graph.border(best.members)
+            ):
+                self.candidate_view = best
+        else:
+            self.max_view = None
 
     # ------------------------------------------------------------------
     # Guards (lines 12, 26, 32) — evaluated to a fixpoint

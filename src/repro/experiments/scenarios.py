@@ -10,11 +10,23 @@ how they were resolved).
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..churn import (
+    ChurnRunResult,
+    MembershipSchedule,
+    crash_recover_recrash,
+    flash_crowd_joins,
+    run_churn,
+    run_churn_asyncio,
+    steady_state_churn,
+)
 from ..failures import CrashSchedule, growing_region_crash, multi_region_crash, region_crash
 from ..graph import KnowledgeGraph, NodeId, Region
+from ..graph.generators import torus
 from ..sim import ConstantLatency, ScriptedFailureDetector
 from ..sim.events import EventKind
 from .runner import RunResult, run_cliff_edge
@@ -284,4 +296,151 @@ def run_fig3(check: bool = True, seed: int = 0) -> Fig3Observations:
         first_wave_view=first_view if first_wave_decisions else None,
         post_growth_views=post_growth,
         grown_region_proposed=grown_proposed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Churn — dynamic-membership scenario family (not in the paper)
+# ---------------------------------------------------------------------------
+@dataclass
+class ChurnScenario:
+    """A ready-to-run churn scenario: topology + crashes + membership.
+
+    The same scenario runs unchanged on the deterministic simulator
+    (``runtime="sim"``) and on the asyncio runtime (``runtime="asyncio"``);
+    the integration tests assert both reach identical decisions.
+    """
+
+    name: str
+    graph: KnowledgeGraph
+    schedule: CrashSchedule
+    membership: MembershipSchedule
+    description: str = ""
+    labels: dict = field(default_factory=dict)
+
+    def run(
+        self,
+        check: bool = True,
+        seed: int = 0,
+        runtime: str = "sim",
+        timeout: float = 60.0,
+    ) -> ChurnRunResult:
+        if runtime == "sim":
+            result = run_churn(
+                self.graph, self.schedule, self.membership, seed=seed, check=check
+            )
+        elif runtime == "asyncio":
+            result = run_churn_asyncio(
+                self.graph,
+                self.schedule,
+                self.membership,
+                seed=seed,
+                check=check,
+                timeout=timeout,
+            )
+        else:
+            raise ValueError(f"unknown runtime {runtime!r}")
+        result.labels.update(self.labels)
+        result.labels["scenario"] = self.name
+        return result
+
+
+def _torus_for(nodes: int) -> KnowledgeGraph:
+    side = max(3, round(math.sqrt(nodes)))
+    return torus(side, side)
+
+
+def churn_steady_scenario(
+    nodes: int = 64,
+    churn_rate: float = 0.05,
+    duration: float = 100.0,
+    seed: int = 0,
+    downtime: float = 15.0,
+) -> ChurnScenario:
+    """Steady-state churn: independent crash→recover cycles on a torus.
+
+    ``churn_rate`` is the fraction of the population starting a cycle per
+    unit time; the resulting workload keeps detection and agreement
+    instances permanently in flight somewhere in the graph.
+    """
+    graph = _torus_for(nodes)
+    schedule, membership = steady_state_churn(
+        graph,
+        churn_rate=churn_rate,
+        duration=duration,
+        seed=seed,
+        downtime=downtime,
+    )
+    return ChurnScenario(
+        name="churn-steady",
+        graph=graph,
+        schedule=schedule,
+        membership=membership,
+        description=(
+            f"{len(schedule)} crashes / {len(membership)} recoveries over "
+            f"{duration} time units on a {len(graph)}-node torus."
+        ),
+        labels={"churn_rate": churn_rate, "nodes": len(graph), "seed": seed},
+    )
+
+
+def churn_recovery_race_scenario(
+    nodes: int = 64,
+    recover_at: float = 6.0,
+    recrash_at: float = 60.0,
+    seed: int = 0,
+) -> ChurnScenario:
+    """Crash → recover → re-crash, with the recovery racing the agreement.
+
+    A 2x2 block of the torus crashes at t=1; with the default detector
+    latency the border's consensus instances are mid-round when the block
+    recovers at ``recover_at``, so in-flight state must be discarded
+    (epoch quotient) before the block re-crashes and is agreed on again.
+    """
+    graph = _torus_for(nodes)
+    block = [(1, 1), (1, 2), (2, 1), (2, 2)]
+    schedule, membership = crash_recover_recrash(
+        graph, block, crash_at=1.0, recover_at=recover_at, recrash_at=recrash_at
+    )
+    return ChurnScenario(
+        name="churn-race",
+        graph=graph,
+        schedule=schedule,
+        membership=membership,
+        description=(
+            "A crashed block recovers while the border is still agreeing on "
+            "it, then crashes again; both epochs must decide identically."
+        ),
+        labels={"recover_at": recover_at, "recrash_at": recrash_at, "seed": seed},
+    )
+
+
+def churn_flash_crowd_scenario(
+    nodes: int = 64,
+    crowd: int = 8,
+    seed: int = 0,
+) -> ChurnScenario:
+    """A flash crowd joins while a crashed region is being agreed on.
+
+    A 2x2 block crashes at t=1 and ``crowd`` brand-new nodes join by
+    locality from t=3 onwards — the graph grows under the protocol's feet,
+    and the joiners must neither disturb the in-flight agreement nor leak
+    messages outside the faulty-domain scopes.
+    """
+    graph = _torus_for(nodes)
+    block = [(1, 1), (1, 2), (2, 1), (2, 2)]
+    schedule = region_crash(graph, block, at=1.0)
+    membership = flash_crowd_joins(
+        graph, count=crowd, at=3.0, spacing=1.0, seed=seed
+    )
+    return ChurnScenario(
+        name="churn-flash-crowd",
+        graph=graph,
+        schedule=schedule,
+        membership=membership,
+        description=(
+            f"{crowd} locality-attached joins arrive while the border agrees "
+            "on a crashed block."
+        ),
+        labels={"crowd": crowd, "seed": seed},
     )

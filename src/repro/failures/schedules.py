@@ -26,16 +26,25 @@ class ScheduleError(ValueError):
 
 @dataclass(frozen=True)
 class CrashSchedule:
-    """An immutable list of timed crashes."""
+    """An immutable list of timed crashes.
+
+    Under the paper's static model a node crashes at most once, and the
+    constructor rejects duplicates as almost-certain scenario bugs.  Churn
+    scenarios (:mod:`repro.churn`) legitimately re-crash a node after it
+    recovered; they construct their schedules with ``allow_recrash=True``
+    and rely on :meth:`repro.churn.MembershipSchedule.validate` to check
+    that every re-crash is preceded by a recovery.
+    """
 
     crashes: tuple[tuple[NodeId, float], ...] = field(default_factory=tuple)
+    allow_recrash: bool = False
 
     def __post_init__(self) -> None:
         seen: set[NodeId] = set()
         for node, time in self.crashes:
             if time < 0:
                 raise ScheduleError(f"negative crash time for {node!r}")
-            if node in seen:
+            if node in seen and not self.allow_recrash:
                 raise ScheduleError(f"{node!r} scheduled to crash twice")
             seen.add(node)
 
@@ -59,7 +68,10 @@ class CrashSchedule:
         """The same schedule with every crash delayed by ``offset``."""
         if offset < 0:
             raise ScheduleError("offset must be non-negative")
-        return CrashSchedule(tuple((node, time + offset) for node, time in self.crashes))
+        return CrashSchedule(
+            tuple((node, time + offset) for node, time in self.crashes),
+            allow_recrash=self.allow_recrash,
+        )
 
     def merged(self, other: "CrashSchedule") -> "CrashSchedule":
         """Union of two schedules (node sets must be disjoint)."""
@@ -68,7 +80,10 @@ class CrashSchedule:
             raise ScheduleError(
                 f"schedules overlap on {sorted(map(repr, overlap))}"
             )
-        return CrashSchedule(self.crashes + other.crashes)
+        return CrashSchedule(
+            self.crashes + other.crashes,
+            allow_recrash=self.allow_recrash or other.allow_recrash,
+        )
 
     def validate(self, graph: KnowledgeGraph) -> None:
         """Check every crashed node exists in ``graph``."""

@@ -27,11 +27,13 @@ class GraphError(ValueError):
 class KnowledgeGraph:
     """An immutable, undirected graph of node identifiers.
 
-    The graph is the *static* topology of the system: it never changes
-    during a run, even when nodes crash.  Crashes are modelled separately
-    (see :mod:`repro.failures` and :mod:`repro.sim.crash`); the graph keeps
-    answering queries about crashed nodes, playing the role of the
-    "underlying topology service" the paper assumes.
+    A single instance is a *snapshot* of the topology: it never changes,
+    even when nodes crash.  Crashes are modelled separately (see
+    :mod:`repro.failures`); the graph keeps answering queries about crashed
+    nodes, playing the role of the "underlying topology service" the paper
+    assumes.  Dynamic membership (:mod:`repro.churn`) is modelled by the
+    runtimes swapping in *derived* snapshots built with :meth:`with_node`,
+    :meth:`with_edges` and :meth:`without` at membership-epoch boundaries.
 
     Parameters
     ----------
@@ -242,6 +244,45 @@ class KnowledgeGraph:
         """The subgraph obtained by removing ``nodes`` (e.g. crashed ones)."""
         removed = frozenset(nodes)
         return self.subgraph(self._frozen_nodes - removed)
+
+    def with_edges(
+        self, edges: Iterable[tuple[NodeId, NodeId]]
+    ) -> "KnowledgeGraph":
+        """A new graph with ``edges`` added (endpoints are created if new).
+
+        The churn subsystem uses this (together with :meth:`with_node` and
+        :meth:`without`) to derive each membership epoch's graph from the
+        previous one; the graph itself stays immutable.
+        """
+        return KnowledgeGraph(
+            list(self.edges()) + list(edges), nodes=self._frozen_nodes
+        )
+
+    def with_node(
+        self, node: NodeId, neighbours: Iterable[NodeId] = ()
+    ) -> "KnowledgeGraph":
+        """A new graph with ``node`` inserted, attached to ``neighbours``.
+
+        Every neighbour must already exist: a joining node can only attach
+        to nodes the topology service knows about.  Inserting an existing
+        node is rejected — recoveries that change the node's edges go
+        through ``without([node]).with_node(node, new_neighbours)``.
+        """
+        if node in self._adjacency:
+            raise GraphError(f"node {node!r} is already in the graph")
+        neighbour_set = frozenset(neighbours)
+        if node in neighbour_set:
+            raise GraphError(f"self loop on node {node!r} is not allowed")
+        unknown = neighbour_set - self._frozen_nodes
+        if unknown:
+            raise GraphError(
+                f"cannot attach {node!r} to unknown nodes "
+                f"{sorted(map(repr, unknown))}"
+            )
+        return KnowledgeGraph(
+            list(self.edges()) + [(node, n) for n in sorted(neighbour_set, key=repr)],
+            nodes=self._frozen_nodes | {node},
+        )
 
     def to_networkx(self):  # pragma: no cover - optional interop
         """Export to a :class:`networkx.Graph` when networkx is installed."""

@@ -20,6 +20,7 @@ It exists for two reasons:
 from __future__ import annotations
 
 import asyncio
+import random
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 from typing import Any, Optional
@@ -28,7 +29,7 @@ from ..core.properties import Decision, extract_decisions
 from ..failures import CrashSchedule
 from ..graph import KnowledgeGraph, NodeId
 from ..sim.events import EventKind
-from ..sim.process import Process
+from ..sim.process import MembershipChange, Process, resolve_attachment
 from ..trace import RunMetrics, TraceRecorder, collect_metrics
 
 
@@ -126,6 +127,7 @@ class AsyncRuntime:
         graph: KnowledgeGraph,
         detection_delay: float = 0.01,
         time_scale: float = 0.01,
+        seed: int = 0,
     ) -> None:
         self.graph = graph
         self.detection_delay = detection_delay
@@ -142,6 +144,13 @@ class AsyncRuntime:
         self._activity = 0
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._start_time = 0.0
+        # --- dynamic-membership state (mirrors the simulator) -------------
+        self._base_graph = graph
+        self._rng = random.Random(seed)
+        self._incarnation: dict[NodeId, int] = {}
+        self._departed: set[NodeId] = set()
+        self._epoch = 0
+        self._process_factory: Optional[Callable[[NodeId], Process]] = None
 
     # ------------------------------------------------------------------
     # Configuration
@@ -153,6 +162,7 @@ class AsyncRuntime:
         self._contexts[node_id] = _AsyncContext(self, node_id)
 
     def populate(self, factory: Callable[[NodeId], Process]) -> None:
+        self._process_factory = factory
         for node in self.graph.nodes:
             if node not in self._processes:
                 self.add_process(node, factory(node))
@@ -173,9 +183,19 @@ class AsyncRuntime:
         schedule: CrashSchedule,
         timeout: float = 30.0,
         settle_time: float = 0.05,
+        membership: Any = None,
     ) -> AsyncRunResult:
-        """Execute the scenario and wait for quiescence (or ``timeout``)."""
-        schedule.validate(self.graph)
+        """Execute the scenario and wait for quiescence (or ``timeout``).
+
+        ``membership`` is an optional
+        :class:`~repro.churn.membership.MembershipSchedule`; its timed
+        join/recover/leave events are interleaved with the crash schedule
+        on the same scaled clock, exactly as the simulator does.
+        """
+        if membership is None:
+            schedule.validate(self.graph)
+        else:
+            membership.validate(self.graph, schedule)
         missing = self.graph.nodes - self._processes.keys()
         if missing:
             raise RuntimeError_(
@@ -192,13 +212,24 @@ class AsyncRuntime:
             self.trace.emit(self.now(), EventKind.NODE_STARTED, node=node)
             self._processes[node].on_start(self._contexts[node])
 
-        crash_task = asyncio.create_task(self._apply_schedule(schedule))
+        crash_task = asyncio.create_task(self._apply_schedule(schedule, membership))
         quiescent = await self._wait_for_quiescence(crash_task, timeout, settle_time)
 
+        schedule_error = (
+            crash_task.exception()
+            if crash_task.done() and not crash_task.cancelled()
+            else None
+        )
         crash_task.cancel()
         for task in self._tasks.values():
             task.cancel()
         await asyncio.gather(*self._tasks.values(), crash_task, return_exceptions=True)
+        if schedule_error is not None:
+            # A crash/membership event failed to apply (bad attachment,
+            # impossible recovery, ...).  Swallowing it would report a
+            # quiescent-looking run that silently truncated the scenario;
+            # surface it like the simulator does.
+            raise schedule_error
 
         metrics = collect_metrics(self.trace)
         return AsyncRunResult(
@@ -220,7 +251,7 @@ class AsyncRuntime:
         while True:
             kind, payload = await inbox.queue.get()
             self._activity += 1
-            if node in self._crashed:
+            if node in self._crashed or node in self._departed:
                 continue
             if kind == "message":
                 sender, message = payload
@@ -239,16 +270,46 @@ class AsyncRuntime:
                 process.on_crash(context, payload)
             elif kind == "timer":
                 process.on_timer(context, payload)
+            elif kind == "membership":
+                self.trace.emit(
+                    self.now(),
+                    EventKind.MEMBERSHIP_NOTIFIED,
+                    node=node,
+                    peer=payload.node,
+                    payload=payload.kind,
+                )
+                process.on_membership(context, payload)
 
-    async def _apply_schedule(self, schedule: CrashSchedule) -> None:
+    async def _apply_schedule(
+        self, schedule: CrashSchedule, membership: Any = None
+    ) -> None:
+        # Crashes and membership events share one scaled timeline.  The
+        # ordering (including same-timestamp ties) comes from the single
+        # canonical MembershipSchedule.timeline(), the same ordering
+        # validate() checks and the simulator schedules — so the two
+        # runtimes stay in lockstep on ties.
+        if membership is not None:
+            timeline = membership.timeline(schedule)
+        else:
+            timeline = sorted(
+                ((time, 0, "crash", node, None) for node, time in schedule.crashes),
+                key=lambda item: (item[0], item[1], repr(item[3])),
+            )
         previous = 0.0
-        for node, time in sorted(schedule.crashes, key=lambda item: item[1]):
+        for time, _, kind, node, event in timeline:
             await asyncio.sleep(max(0.0, (time - previous) * self.time_scale))
             previous = time
-            self._crash(node)
+            if kind == "crash":
+                self._crash(node)
+            elif kind == "join":
+                self._join(node, event.attachment)
+            elif kind == "recover":
+                self._recover(node, event.attachment)
+            elif kind == "leave":
+                self._leave(node)
 
     def _crash(self, node: NodeId) -> None:
-        if node in self._crashed:
+        if node in self._crashed or node in self._departed:
             return
         self._crashed.add(node)
         self.trace.emit(self.now(), EventKind.NODE_CRASHED, node=node)
@@ -256,14 +317,14 @@ class AsyncRuntime:
             self._schedule_notification(subscriber, node)
 
     def _send(self, source: NodeId, target: NodeId, message: Any) -> None:
-        if source in self._crashed:
+        if source in self._crashed or source in self._departed:
             return
         if target not in self._inboxes:
             raise RuntimeError_(f"message addressed to unknown node {target!r}")
         self.trace.emit(
             self.now(), EventKind.MESSAGE_SENT, node=source, peer=target, payload=message
         )
-        if target in self._crashed:
+        if target in self._crashed or target in self._departed:
             self.trace.emit(
                 self.now(),
                 EventKind.MESSAGE_DROPPED,
@@ -286,8 +347,11 @@ class AsyncRuntime:
         )
         for target in target_list:
             self._subscriptions.setdefault(target, set()).add(subscriber)
-            if target in self._crashed:
+            if target in self._crashed or target in self._departed:
                 self._schedule_notification(subscriber, target)
+
+    def _inc(self, node: NodeId) -> int:
+        return self._incarnation.get(node, 0)
 
     def _schedule_notification(self, subscriber: NodeId, crashed: NodeId) -> None:
         key = (subscriber, crashed)
@@ -295,25 +359,161 @@ class AsyncRuntime:
             return
         self._notified.add(key)
         self._pending_callbacks += 1
+        subscriber_incarnation = self._inc(subscriber)
 
         def deliver() -> None:
             self._pending_callbacks -= 1
-            if subscriber not in self._crashed:
-                self._inboxes[subscriber].queue.put_nowait(("crash", crashed))
+            if subscriber in self._crashed or subscriber in self._departed:
+                return
+            if self._inc(subscriber) != subscriber_incarnation:
+                return
+            if crashed not in self._crashed and crashed not in self._departed:
+                # Recovered before the notification fired.
+                return
+            self._inboxes[subscriber].queue.put_nowait(("crash", crashed))
 
         assert self._loop is not None
         self._loop.call_later(self.detection_delay, deliver)
 
     def _set_timer(self, node: NodeId, delay: float, tag: Any) -> None:
         self._pending_callbacks += 1
+        incarnation = self._inc(node)
 
         def fire() -> None:
             self._pending_callbacks -= 1
-            if node not in self._crashed:
-                self._inboxes[node].queue.put_nowait(("timer", tag))
+            if node in self._crashed or node in self._departed:
+                return
+            if self._inc(node) != incarnation:
+                return
+            self._inboxes[node].queue.put_nowait(("timer", tag))
 
         assert self._loop is not None
         self._loop.call_later(delay * self.time_scale, fire)
+
+    # ------------------------------------------------------------------
+    # Membership mechanics (churn) — mirrors Simulator
+    # ------------------------------------------------------------------
+    def _resolve_attachment(self, node: NodeId, attachment: Any) -> frozenset[NodeId]:
+        return resolve_attachment(
+            node,
+            attachment,
+            current=self.graph,
+            base=self._base_graph,
+            crashed=frozenset(self._crashed | self._departed),
+            rng=self._rng,
+            error_cls=RuntimeError_,
+        )
+
+    def _spawn_node(self, node: NodeId) -> Process:
+        if self._process_factory is None:
+            raise RuntimeError_(
+                "no process factory installed; call populate() before "
+                "running membership events"
+            )
+        old_task = self._tasks.get(node)
+        if old_task is not None:
+            old_task.cancel()
+        process = self._process_factory(node)
+        self._processes[node] = process
+        self._contexts[node] = _AsyncContext(self, node)
+        self._inboxes[node] = _Inbox()
+        self._tasks[node] = asyncio.create_task(self._node_loop(node))
+        return process
+
+    def _join(self, node: NodeId, attachment: Any) -> None:
+        if node in self.graph:
+            raise RuntimeError_(f"joining node {node!r} is already in the graph")
+        neighbours = self._resolve_attachment(node, attachment)
+        if not neighbours:
+            raise RuntimeError_(f"joining node {node!r} attaches to nothing")
+        self.graph = self.graph.with_node(node, neighbours)
+        self._epoch += 1
+        self._incarnation[node] = self._inc(node) + 1
+        self.trace.emit(
+            self.now(),
+            EventKind.NODE_JOINED,
+            node=node,
+            payload=tuple(sorted(neighbours, key=repr)),
+            epoch=self._epoch,
+        )
+        process = self._spawn_node(node)
+        self.trace.emit(self.now(), EventKind.NODE_STARTED, node=node)
+        process.on_start(self._contexts[node])
+        self._announce(MembershipChange("join", node, neighbours))
+
+    def _recover(self, node: NodeId, attachment: Any) -> None:
+        if node not in self.graph:
+            raise RuntimeError_(f"cannot recover unknown node {node!r}")
+        if node not in self._crashed:
+            raise RuntimeError_(f"cannot recover live node {node!r}")
+        neighbours = self._resolve_attachment(node, attachment)
+        if not neighbours:
+            raise RuntimeError_(f"recovering node {node!r} attaches to nothing")
+        if neighbours != self.graph.neighbours(node):
+            self.graph = self.graph.without([node]).with_node(node, neighbours)
+        self._crashed.discard(node)
+        self._epoch += 1
+        self._incarnation[node] = self._inc(node) + 1
+        self._notified = {
+            (subscriber, crashed)
+            for subscriber, crashed in self._notified
+            if crashed != node and subscriber != node
+        }
+        old_watchers = frozenset(self._subscriptions.pop(node, set()))
+        for subscribers in self._subscriptions.values():
+            subscribers.discard(node)
+        self.trace.emit(
+            self.now(),
+            EventKind.NODE_RECOVERED,
+            node=node,
+            payload=tuple(sorted(neighbours, key=repr)),
+            epoch=self._epoch,
+        )
+        process = self._spawn_node(node)
+        self.trace.emit(self.now(), EventKind.NODE_STARTED, node=node)
+        process.on_start(self._contexts[node])
+        self._announce(
+            MembershipChange("recover", node, neighbours), extra=old_watchers
+        )
+
+    def _leave(self, node: NodeId) -> None:
+        # Announced fail-stop: same semantics as the simulator's _leave.
+        if node not in self.graph:
+            raise RuntimeError_(f"cannot remove unknown node {node!r}")
+        if node in self._crashed or node in self._departed:
+            return
+        self._departed.add(node)
+        self.trace.emit(self.now(), EventKind.NODE_LEFT, node=node)
+        for subscriber in sorted(self._subscriptions.get(node, ()), key=repr):
+            if subscriber not in self._crashed and subscriber not in self._departed:
+                self._schedule_notification(subscriber, node)
+
+    def _announce(
+        self, change: MembershipChange, extra: frozenset[NodeId] = frozenset()
+    ) -> None:
+        targets = set(self._subscriptions.get(change.node, set())) | set(extra)
+        if change.node in self.graph:
+            targets |= self.graph.neighbours(change.node)
+        for target in sorted(targets, key=repr):
+            if (
+                target == change.node
+                or target in self._crashed
+                or target in self._departed
+            ):
+                continue
+            self._pending_callbacks += 1
+            incarnation = self._inc(target)
+
+            def deliver(t: NodeId = target, i: int = incarnation) -> None:
+                self._pending_callbacks -= 1
+                if t in self._crashed or t in self._departed:
+                    return
+                if self._inc(t) != i or t not in self._inboxes:
+                    return
+                self._inboxes[t].queue.put_nowait(("membership", change))
+
+            assert self._loop is not None
+            self._loop.call_later(self.detection_delay, deliver)
 
     async def _wait_for_quiescence(
         self, crash_task: asyncio.Task, timeout: float, settle_time: float
@@ -343,13 +543,15 @@ async def run_cliff_edge_async(
     detection_delay: float = 0.01,
     time_scale: float = 0.01,
     timeout: float = 30.0,
+    membership: Any = None,
+    seed: int = 0,
 ) -> AsyncRunResult:
     """Convenience wrapper: populate, run, and collect results."""
     runtime = AsyncRuntime(
-        graph, detection_delay=detection_delay, time_scale=time_scale
+        graph, detection_delay=detection_delay, time_scale=time_scale, seed=seed
     )
     runtime.populate(node_factory)
-    return await runtime.run(schedule, timeout=timeout)
+    return await runtime.run(schedule, timeout=timeout, membership=membership)
 
 
 def run_cliff_edge_asyncio(
@@ -359,6 +561,8 @@ def run_cliff_edge_asyncio(
     detection_delay: float = 0.01,
     time_scale: float = 0.01,
     timeout: float = 30.0,
+    membership: Any = None,
+    seed: int = 0,
 ) -> AsyncRunResult:
     """Synchronous entry point (creates and drives its own event loop)."""
     return asyncio.run(
@@ -369,5 +573,7 @@ def run_cliff_edge_asyncio(
             detection_delay=detection_delay,
             time_scale=time_scale,
             timeout=timeout,
+            membership=membership,
+            seed=seed,
         )
     )

@@ -24,6 +24,14 @@ class EventKind(enum.Enum):
     NODE_STARTED = "node_started"
     #: A node crashed (fault injection).
     NODE_CRASHED = "node_crashed"
+    #: A previously crashed node recovered and rejoined (churn).
+    NODE_RECOVERED = "node_recovered"
+    #: A brand-new node joined the system (churn).
+    NODE_JOINED = "node_joined"
+    #: A node left the system gracefully (churn).
+    NODE_LEFT = "node_left"
+    #: The membership service notified a subscriber of a join/recover/leave.
+    MEMBERSHIP_NOTIFIED = "membership_notified"
     #: A failure detector notified a subscriber of a crash.
     CRASH_NOTIFIED = "crash_notified"
     #: A node subscribed to crash notifications for a set of targets.

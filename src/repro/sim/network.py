@@ -28,7 +28,7 @@ from ..trace import TraceRecorder
 from .events import EventKind
 from .failure_detector import FailureDetectorPolicy, PerfectFailureDetector
 from .latency import ConstantLatency, LatencyModel
-from .process import Process, ProcessContext
+from .process import MembershipChange, Process, ProcessContext, resolve_attachment
 from .scheduler import EventScheduler
 
 #: Minimal spacing between two deliveries on the same FIFO channel; keeps
@@ -127,6 +127,21 @@ class Simulator:
         self._notification_scheduled: set[tuple[NodeId, NodeId]] = set()
         self._channel_clock: dict[tuple[NodeId, NodeId], float] = {}
         self._started = False
+        # --- dynamic-membership state (repro.churn) -----------------------
+        #: The topology before any membership event (attachment policies
+        #: consult it, e.g. to restore a recovering node's old edges).
+        self._base_graph = graph
+        #: Per-node incarnation counter; bumped on join/recover so stale
+        #: deliveries, timers and notifications aimed at a previous life of
+        #: the node can be recognised and dropped.
+        self._incarnation: dict[NodeId, int] = {}
+        #: Nodes that left gracefully (messages to them are dropped).
+        self._departed: set[NodeId] = set()
+        #: Nodes with a scheduled join (crashes may be scheduled for them).
+        self._pending_joins: set[NodeId] = set()
+        #: Membership epoch counter (0 = the initial static epoch).
+        self._epoch = 0
+        self._process_factory: Optional[Callable[[NodeId], Process]] = None
 
     # ------------------------------------------------------------------
     # Configuration
@@ -141,7 +156,13 @@ class Simulator:
         self._contexts[node_id] = _SimContext(self, node_id)
 
     def populate(self, factory: Callable[[NodeId], Process]) -> None:
-        """Install ``factory(node)`` on every graph node lacking a process."""
+        """Install ``factory(node)`` on every graph node lacking a process.
+
+        The factory is kept so that nodes joining or recovering later (see
+        :meth:`schedule_join` / :meth:`schedule_recover`) can be given a
+        fresh process of the same kind.
+        """
+        self._process_factory = factory
         for node in self.graph.nodes:
             if node not in self._processes:
                 self.add_process(node, factory(node))
@@ -155,7 +176,7 @@ class Simulator:
 
     def schedule_crash(self, node: NodeId, time: float) -> None:
         """Crash ``node`` at absolute simulated time ``time``."""
-        if node not in self.graph:
+        if node not in self.graph and node not in self._pending_joins:
             raise SimulationError(f"node {node!r} is not in the graph")
         self._scheduler.schedule_at(time, lambda: self._crash(node))
 
@@ -169,6 +190,42 @@ class Simulator:
         self._scheduler.schedule_at(time, callback)
 
     # ------------------------------------------------------------------
+    # Dynamic membership (churn) scheduling
+    # ------------------------------------------------------------------
+    def schedule_join(self, node: NodeId, time: float, attachment: Any) -> None:
+        """A brand-new ``node`` joins at ``time``.
+
+        ``attachment`` is either an iterable of neighbour ids or an
+        attachment policy (any object with a ``neighbours_for`` method, see
+        :mod:`repro.churn.attachment`) resolved at join time against the
+        then-current graph.
+        """
+        if node in self.graph or node in self._pending_joins:
+            raise SimulationError(f"node {node!r} is already part of the system")
+        self._pending_joins.add(node)
+        self._scheduler.schedule_at(time, lambda: self._join(node, attachment))
+
+    def schedule_recover(
+        self, node: NodeId, time: float, attachment: Any = None
+    ) -> None:
+        """A crashed ``node`` recovers at ``time``.
+
+        With ``attachment=None`` the node keeps the edges it had when it
+        crashed; otherwise the attachment policy decides where the fresh
+        incarnation re-attaches (the rejoin-via-repair-plan and locality
+        policies of :mod:`repro.churn.attachment`).
+        """
+        if node not in self.graph and node not in self._pending_joins:
+            raise SimulationError(f"node {node!r} is not in the graph")
+        self._scheduler.schedule_at(time, lambda: self._recover(node, attachment))
+
+    def schedule_leave(self, node: NodeId, time: float) -> None:
+        """A live ``node`` leaves gracefully at ``time``."""
+        if node not in self.graph and node not in self._pending_joins:
+            raise SimulationError(f"node {node!r} is not in the graph")
+        self._scheduler.schedule_at(time, lambda: self._leave(node))
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     @property
@@ -180,6 +237,21 @@ class Simulator:
     def crashed_nodes(self) -> frozenset[NodeId]:
         """Nodes that have crashed so far."""
         return frozenset(self._crashed)
+
+    @property
+    def departed_nodes(self) -> frozenset[NodeId]:
+        """Nodes that left gracefully so far."""
+        return frozenset(self._departed)
+
+    @property
+    def membership_epoch(self) -> int:
+        """Number of membership events applied so far (0 = static run)."""
+        return self._epoch
+
+    @property
+    def base_graph(self) -> KnowledgeGraph:
+        """The topology before any membership event."""
+        return self._base_graph
 
     def is_crashed(self, node: NodeId) -> bool:
         return node in self._crashed
@@ -229,12 +301,18 @@ class Simulator:
     # ------------------------------------------------------------------
     # Internal mechanics
     # ------------------------------------------------------------------
+    def _inc(self, node: NodeId) -> int:
+        return self._incarnation.get(node, 0)
+
     def _send(self, source: NodeId, target: NodeId, message: Any) -> None:
         if target not in self.graph:
+            # Departed and crashed nodes stay in the graph snapshot, so an
+            # id outside it was never part of the system: a caller bug.
             raise SimulationError(f"message addressed to unknown node {target!r}")
-        if source in self._crashed:
-            # A crashed node cannot send; this only happens if a handler
-            # crashed its own node mid-event, which the model forbids.
+        if source in self._crashed or source in self._departed:
+            # A crashed (or departed) node cannot send; this only happens
+            # if a handler stopped its own node mid-event, which the model
+            # forbids.
             return
         self.trace.emit(
             self.now, EventKind.MESSAGE_SENT, node=source, peer=target, payload=message
@@ -246,12 +324,27 @@ class Simulator:
         earliest = self._channel_clock.get(channel, 0.0) + _FIFO_EPSILON
         delivery_time = max(self.now + delay, earliest)
         self._channel_clock[channel] = delivery_time
+        target_incarnation = self._inc(target)
         self._scheduler.schedule_at(
-            delivery_time, lambda: self._deliver(source, target, message)
+            delivery_time,
+            lambda: self._deliver(source, target, message, target_incarnation),
         )
 
-    def _deliver(self, source: NodeId, target: NodeId, message: Any) -> None:
-        if target in self._crashed:
+    def _deliver(
+        self,
+        source: NodeId,
+        target: NodeId,
+        message: Any,
+        target_incarnation: int = 0,
+    ) -> None:
+        if (
+            target in self._crashed
+            or target in self._departed
+            or target not in self.graph
+            or self._inc(target) != target_incarnation
+        ):
+            # Crashed, departed, or addressed to a previous incarnation of
+            # a node that has since recovered/rejoined: never delivered.
             self.trace.emit(
                 self.now,
                 EventKind.MESSAGE_DROPPED,
@@ -284,7 +377,7 @@ class Simulator:
         )
         for target in target_list:
             self._subscriptions.setdefault(target, set()).add(subscriber)
-            if target in self._crashed:
+            if target in self._crashed or target in self._departed:
                 self._schedule_notification(subscriber, target)
 
     def _schedule_notification(self, subscriber: NodeId, crashed: NodeId) -> None:
@@ -295,12 +388,24 @@ class Simulator:
         delay = self.failure_detector.delay(subscriber, crashed, self._rng)
         if delay < 0:
             raise SimulationError("failure detector produced a negative delay")
+        subscriber_incarnation = self._inc(subscriber)
         self._scheduler.schedule(
-            delay, lambda: self._notify_crash(subscriber, crashed)
+            delay,
+            lambda: self._notify_crash(subscriber, crashed, subscriber_incarnation),
         )
 
-    def _notify_crash(self, subscriber: NodeId, crashed: NodeId) -> None:
-        if subscriber in self._crashed:
+    def _notify_crash(
+        self, subscriber: NodeId, crashed: NodeId, subscriber_incarnation: int = 0
+    ) -> None:
+        if subscriber in self._crashed or subscriber in self._departed:
+            return
+        if self._inc(subscriber) != subscriber_incarnation:
+            # The subscriber recovered in the meantime; its fresh
+            # incarnation re-subscribes and is notified separately.
+            return
+        if crashed not in self._crashed and crashed not in self._departed:
+            # The crashed node recovered before the notification fired;
+            # the membership announcement supersedes it.
             return
         self.trace.emit(
             self.now, EventKind.CRASH_NOTIFIED, node=subscriber, peer=crashed
@@ -310,19 +415,188 @@ class Simulator:
     def _set_timer(self, node: NodeId, delay: float, tag: Any) -> None:
         if delay < 0:
             raise SimulationError("timer delay must be non-negative")
-        self._scheduler.schedule(delay, lambda: self._fire_timer(node, tag))
+        incarnation = self._inc(node)
+        self._scheduler.schedule(delay, lambda: self._fire_timer(node, tag, incarnation))
 
-    def _fire_timer(self, node: NodeId, tag: Any) -> None:
-        if node in self._crashed:
+    def _fire_timer(self, node: NodeId, tag: Any, incarnation: int = 0) -> None:
+        if node in self._crashed or node in self._departed:
+            return
+        if self._inc(node) != incarnation:
             return
         self._processes[node].on_timer(self._contexts[node], tag)
 
     def _crash(self, node: NodeId) -> None:
-        if node in self._crashed:
+        if node in self._crashed or node in self._departed:
             return
+        if node not in self.graph:
+            raise SimulationError(f"cannot crash unknown node {node!r}")
         self._crashed.add(node)
         self._crash_times[node] = self.now
         self.trace.emit(self.now, EventKind.NODE_CRASHED, node=node)
         for subscriber in sorted(self._subscriptions.get(node, ()), key=repr):
             if subscriber not in self._crashed:
                 self._schedule_notification(subscriber, node)
+
+    # ------------------------------------------------------------------
+    # Membership mechanics (churn)
+    # ------------------------------------------------------------------
+    def _resolve_attachment(self, node: NodeId, attachment: Any) -> frozenset[NodeId]:
+        return resolve_attachment(
+            node,
+            attachment,
+            current=self.graph,
+            base=self._base_graph,
+            # Departed nodes are as dead as crashed ones for attachment
+            # purposes: a policy must never hand out edges to them.
+            crashed=frozenset(self._crashed | self._departed),
+            rng=self._rng,
+            error_cls=SimulationError,
+        )
+
+    def _spawn_process(self, node: NodeId) -> Process:
+        if self._process_factory is None:
+            raise SimulationError(
+                "no process factory installed; call populate() before "
+                "scheduling membership events"
+            )
+        process = self._process_factory(node)
+        self._processes[node] = process
+        self._contexts[node] = _SimContext(self, node)
+        return process
+
+    def _join(self, node: NodeId, attachment: Any) -> None:
+        self._pending_joins.discard(node)
+        if node in self.graph:
+            raise SimulationError(f"joining node {node!r} is already in the graph")
+        neighbours = self._resolve_attachment(node, attachment)
+        if not neighbours:
+            raise SimulationError(f"joining node {node!r} attaches to nothing")
+        self.graph = self.graph.with_node(node, neighbours)
+        self._epoch += 1
+        self._incarnation[node] = self._inc(node) + 1
+        self.trace.emit(
+            self.now,
+            EventKind.NODE_JOINED,
+            node=node,
+            payload=tuple(sorted(neighbours, key=repr)),
+            epoch=self._epoch,
+        )
+        process = self._spawn_process(node)
+        self.trace.emit(self.now, EventKind.NODE_STARTED, node=node)
+        process.on_start(self._contexts[node])
+        self._announce(MembershipChange("join", node, neighbours))
+
+    def _recover(self, node: NodeId, attachment: Any) -> None:
+        if node not in self.graph:
+            raise SimulationError(f"cannot recover unknown node {node!r}")
+        if node not in self._crashed:
+            raise SimulationError(f"cannot recover live node {node!r}")
+        neighbours = self._resolve_attachment(node, attachment)
+        if not neighbours:
+            raise SimulationError(f"recovering node {node!r} attaches to nothing")
+        if neighbours != self.graph.neighbours(node):
+            self.graph = self.graph.without([node]).with_node(node, neighbours)
+        self._crashed.discard(node)
+        self._crash_times.pop(node, None)
+        self._epoch += 1
+        self._incarnation[node] = self._inc(node) + 1
+        # A future re-crash must be notifiable again, and pending
+        # notifications aimed at the dead incarnation must not leak into
+        # the fresh one (the incarnation guard catches in-flight ones).
+        self._notification_scheduled = {
+            (subscriber, crashed)
+            for subscriber, crashed in self._notification_scheduled
+            if crashed != node and subscriber != node
+        }
+        # The fresh incarnation starts with no subscriptions of its own,
+        # and nobody is subscribed to it: monitorCrash relationships are
+        # per-incarnation on both sides.  Interested neighbours re-monitor
+        # through the membership announcement, and more distant border
+        # nodes re-learn it transitively (line 7 of Algorithm 1), which
+        # restores the static model's adjacency-ordered notifications.
+        # The announcement must still reach everyone who was watching the
+        # *old* incarnation — including non-neighbour border nodes — so
+        # the audience is captured before the subscription wipe.
+        old_watchers = frozenset(self._subscriptions.pop(node, set()))
+        for subscribers in self._subscriptions.values():
+            subscribers.discard(node)
+        self.trace.emit(
+            self.now,
+            EventKind.NODE_RECOVERED,
+            node=node,
+            payload=tuple(sorted(neighbours, key=repr)),
+            epoch=self._epoch,
+        )
+        process = self._spawn_process(node)
+        self.trace.emit(self.now, EventKind.NODE_STARTED, node=node)
+        process.on_start(self._contexts[node])
+        self._announce(
+            MembershipChange("recover", node, neighbours), extra=old_watchers
+        )
+
+    def _leave(self, node: NodeId) -> None:
+        """A graceful leave: an *announced* fail-stop.
+
+        The node stops executing instantly (exactly like a crash), stays
+        in the graph snapshot — the topology service keeps answering
+        queries about it, as it does for crashed nodes — and subscribers
+        are notified through the ordinary failure-detector channel, so the
+        border runs the same agreement it would run for a crash.  This is
+        what overlay maintenance does for departures in practice; the
+        ground truth (NODE_LEFT vs NODE_CRASHED) stays distinguishable for
+        the epoch-quotiented property checkers.  Leaves are permanent: a
+        departed node never recovers.
+        """
+        if node not in self.graph:
+            raise SimulationError(f"cannot remove unknown node {node!r}")
+        if node in self._crashed or node in self._departed:
+            return
+        self._departed.add(node)
+        self._crash_times[node] = self.now
+        self.trace.emit(self.now, EventKind.NODE_LEFT, node=node)
+        for subscriber in sorted(self._subscriptions.get(node, ()), key=repr):
+            if subscriber not in self._crashed and subscriber not in self._departed:
+                self._schedule_notification(subscriber, node)
+
+    def _announce(
+        self, change: MembershipChange, extra: frozenset[NodeId] = frozenset()
+    ) -> None:
+        """Announce a membership change to the nodes that care.
+
+        The announcement reaches current subscribers of the node, its
+        (new) neighbours, and any ``extra`` audience the caller captured
+        (recoveries pass the previous incarnation's watchers), after the
+        same per-pair delay the failure detector would impose — the
+        membership service is assumed to be exactly as timely as crash
+        detection.
+        """
+        targets = set(self._subscriptions.get(change.node, set())) | set(extra)
+        if change.node in self.graph:
+            targets |= self.graph.neighbours(change.node)
+        for target in sorted(targets, key=repr):
+            if target == change.node or target in self._crashed or target in self._departed:
+                continue
+            delay = self.failure_detector.delay(target, change.node, self._rng)
+            if delay < 0:
+                raise SimulationError("failure detector produced a negative delay")
+            incarnation = self._inc(target)
+            self._scheduler.schedule(
+                delay,
+                lambda t=target, i=incarnation: self._notify_membership(t, i, change),
+            )
+
+    def _notify_membership(
+        self, subscriber: NodeId, incarnation: int, change: MembershipChange
+    ) -> None:
+        if subscriber in self._crashed or subscriber in self._departed:
+            return
+        if self._inc(subscriber) != incarnation or subscriber not in self._processes:
+            return
+        self.trace.emit(
+            self.now,
+            EventKind.MEMBERSHIP_NOTIFIED,
+            node=subscriber,
+            peer=change.node,
+            payload=change.kind,
+        )
+        self._processes[subscriber].on_membership(self._contexts[subscriber], change)

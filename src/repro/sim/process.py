@@ -20,10 +20,69 @@ from __future__ import annotations
 
 import abc
 from collections.abc import Iterable
+from dataclasses import dataclass
 from typing import Any, Protocol, runtime_checkable
 
 from ..graph import KnowledgeGraph, NodeId
 from .events import EventKind
+
+
+@dataclass(frozen=True)
+class MembershipChange:
+    """A membership event as announced to a live process.
+
+    The churn runtimes (:mod:`repro.sim.network`, :mod:`repro.runtime`)
+    deliver one of these through :meth:`Process.on_membership` whenever a
+    node the process is connected to joins, recovers or leaves.  The
+    announcement plays the role of the underlying membership service the
+    paper's topology-service assumption implies; like crash notifications
+    it arrives after a detector-dependent delay.
+    """
+
+    #: One of ``"join"``, ``"recover"``, ``"leave"``.
+    kind: str
+    #: The node that joined / recovered / left.
+    node: NodeId
+    #: The node's neighbours in the *new* membership epoch (empty for leave).
+    neighbours: frozenset[NodeId] = frozenset()
+
+    @property
+    def alive(self) -> bool:
+        """True when the change (re)introduces a live node."""
+        return self.kind in ("join", "recover")
+
+
+def resolve_attachment(
+    node: NodeId,
+    attachment: Any,
+    *,
+    current: KnowledgeGraph,
+    base: KnowledgeGraph,
+    crashed: frozenset[NodeId],
+    rng: Any,
+    error_cls: type[Exception] = ValueError,
+) -> frozenset[NodeId]:
+    """Resolve a join/recover attachment into a concrete neighbour set.
+
+    Shared by both runtimes so their semantics cannot drift:
+    ``attachment`` is ``None`` (keep the node's current edges — only
+    meaningful for recoveries), an attachment policy (any object with a
+    ``neighbours_for`` method, see :mod:`repro.churn.attachment`), or an
+    explicit iterable of neighbour ids.
+    """
+    if attachment is None:
+        if node in current:
+            return current.neighbours(node)
+        raise error_cls(
+            f"joining node {node!r} needs an attachment policy or edge list"
+        )
+    if hasattr(attachment, "neighbours_for"):
+        resolved = attachment.neighbours_for(
+            node, current=current, base=base, crashed=crashed, rng=rng
+        )
+    else:
+        resolved = attachment
+    return frozenset(resolved)
 
 
 @runtime_checkable
@@ -93,6 +152,13 @@ class Process(abc.ABC):
 
     def on_timer(self, ctx: ProcessContext, tag: Any) -> None:
         """Handle a timer set earlier with ``ctx.set_timer`` (default no-op)."""
+
+    def on_membership(self, ctx: ProcessContext, change: MembershipChange) -> None:
+        """Handle a membership announcement (default no-op).
+
+        Only runs under churn workloads (:mod:`repro.churn`); processes
+        written against the static crash-only model never see one.
+        """
 
     def on_stop(self, ctx: ProcessContext) -> None:
         """Optional hook invoked when the runtime shuts the process down."""

@@ -1,0 +1,6 @@
+"""Test suite for the cliff-edge consensus reproduction.
+
+The suite is laid out as a package so the property-based modules can share
+strategies via relative imports (``from .test_graph_invariants import ...``)
+regardless of how pytest is invoked.
+"""

@@ -1,0 +1,1 @@
+"""Integration tests: whole scenarios end-to-end on both runtimes."""

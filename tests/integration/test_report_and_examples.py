@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -19,6 +20,17 @@ from repro.experiments.report import (
 )
 
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+#: Environment for example subprocesses: make ``repro`` importable even
+#: when the suite itself was launched via pytest's ``pythonpath`` option
+#: (which is process-local and not inherited by children).
+_EXAMPLE_ENV = {
+    **os.environ,
+    "PYTHONPATH": os.pathsep.join(
+        filter(None, [str(SRC_DIR), os.environ.get("PYTHONPATH")])
+    ),
+}
 
 
 class TestReportSections:
@@ -72,6 +84,7 @@ class TestReportSections:
         ("conflicting_views.py", "all deciders converged on F3:   True"),
         ("overlay_repair.py", "ring restored=True"),
         ("asyncio_runtime.py", "both runtimes agreed on the same crashed region(s): True"),
+        ("churn_recovery.py", "same decided views as the simulator: True"),
     ],
 )
 def test_example_scripts_run(script, expected):
@@ -81,6 +94,7 @@ def test_example_scripts_run(script, expected):
         capture_output=True,
         text=True,
         timeout=300,
+        env=_EXAMPLE_ENV,
     )
     assert result.returncode == 0, result.stderr
     assert expected in result.stdout
@@ -92,6 +106,7 @@ def test_locality_example_runs_quick():
         capture_output=True,
         text=True,
         timeout=600,
+        env=_EXAMPLE_ENV,
     )
     assert result.returncode == 0, result.stderr
     assert "message cost flat across system sizes: True" in result.stdout

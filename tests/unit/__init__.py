@@ -1,0 +1,1 @@
+"""Unit tests: one module per library module."""

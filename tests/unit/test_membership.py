@@ -1,0 +1,285 @@
+"""Unit tests for membership schedules, builders and attachment policies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.churn import (
+    FreshJoinByLocality,
+    MembershipError,
+    MembershipEvent,
+    MembershipEventKind,
+    MembershipSchedule,
+    RejoinOldEdges,
+    RejoinViaRepairPlan,
+    crash_recover_recrash,
+    flash_crowd_joins,
+    join,
+    leave,
+    recover,
+    recovery_for,
+    steady_state_churn,
+)
+from repro.churn.attachment import AttachmentError
+from repro.failures import CrashSchedule, ScheduleError, region_crash
+from repro.graph import KnowledgeGraph
+from repro.graph.generators import grid, torus
+
+
+class TestMembershipEvent:
+    def test_negative_time_rejected(self):
+        with pytest.raises(MembershipError):
+            MembershipEvent(-1.0, MembershipEventKind.RECOVER, "a")
+
+    def test_join_needs_attachment(self):
+        with pytest.raises(MembershipError):
+            join("x", 1.0, attachment=None)
+
+    def test_leave_takes_no_attachment(self):
+        with pytest.raises(MembershipError):
+            MembershipEvent(1.0, MembershipEventKind.LEAVE, "a", attachment=["b"])
+
+    def test_constructors(self):
+        assert join("x", 1.0, ["a"]).kind is MembershipEventKind.JOIN
+        assert recover("a", 2.0).kind is MembershipEventKind.RECOVER
+        assert leave("a", 3.0).kind is MembershipEventKind.LEAVE
+
+
+class TestMembershipSchedule:
+    def test_basic_accessors(self):
+        schedule = MembershipSchedule((recover("a", 5.0), leave("b", 2.0)))
+        assert schedule.nodes == {"a", "b"}
+        assert schedule.last_time == 5.0
+        assert len(schedule) == 2
+        assert len(schedule.of_kind(MembershipEventKind.RECOVER)) == 1
+
+    def test_shifted(self):
+        schedule = MembershipSchedule((recover("a", 5.0),)).shifted(2.0)
+        assert schedule.events[0].time == 7.0
+        with pytest.raises(MembershipError):
+            schedule.shifted(-1.0)
+
+    def test_merged_keeps_time_order(self):
+        first = MembershipSchedule((recover("a", 5.0),))
+        second = MembershipSchedule((leave("b", 2.0),))
+        merged = first.merged(second)
+        assert [event.node for event in merged] == ["b", "a"]
+
+    def test_joining_nodes(self):
+        schedule = MembershipSchedule((join("x", 1.0, ["a"]), recover("a", 2.0)))
+        assert schedule.joining_nodes == {"x"}
+
+
+class TestValidation:
+    @pytest.fixture
+    def line(self) -> KnowledgeGraph:
+        return KnowledgeGraph([("a", "b"), ("b", "c"), ("c", "d")])
+
+    def test_recover_needs_prior_crash(self, line):
+        schedule = MembershipSchedule((recover("a", 5.0),))
+        with pytest.raises(MembershipError):
+            schedule.validate(line)
+
+    def test_recover_after_crash_ok(self, line):
+        crashes = CrashSchedule((("a", 1.0),))
+        MembershipSchedule((recover("a", 5.0),)).validate(line, crashes)
+
+    def test_recrash_needs_recovery(self, line):
+        crashes = CrashSchedule((("a", 1.0), ("a", 10.0)), allow_recrash=True)
+        with pytest.raises(MembershipError):
+            MembershipSchedule().validate(line, crashes)
+        # With a recovery in between the same schedule is fine.
+        MembershipSchedule((recover("a", 5.0),)).validate(line, crashes)
+
+    def test_join_of_existing_node_rejected(self, line):
+        schedule = MembershipSchedule((join("a", 1.0, ["b"]),))
+        with pytest.raises(MembershipError):
+            schedule.validate(line)
+
+    def test_leave_of_crashed_node_rejected(self, line):
+        crashes = CrashSchedule((("a", 1.0),))
+        schedule = MembershipSchedule((leave("a", 5.0),))
+        with pytest.raises(MembershipError):
+            schedule.validate(line, crashes)
+
+    def test_crash_of_later_join_ok(self, line):
+        crashes = CrashSchedule((("x", 5.0),))
+        schedule = MembershipSchedule((join("x", 1.0, ["a"]),))
+        schedule.validate(line, crashes)
+
+    def test_crash_before_join_rejected(self, line):
+        crashes = CrashSchedule((("x", 0.5),))
+        schedule = MembershipSchedule((join("x", 1.0, ["a"]),))
+        with pytest.raises(MembershipError):
+            schedule.validate(line, crashes)
+
+    def test_same_timestamp_ties_resolve_crash_first(self, line):
+        # One canonical timeline is shared by validate() and both
+        # runtimes: a crash and a recovery at the same instant order
+        # crash-first everywhere, so whatever validate() accepts, the
+        # simulator can actually execute.
+        crashes = CrashSchedule((("a", 5.0),))
+        schedule = MembershipSchedule((recover("a", 5.0),))
+        schedule.validate(line, crashes)
+        timeline = schedule.timeline(crashes)
+        assert [(kind, node) for _, _, kind, node, _ in timeline] == [
+            ("crash", "a"),
+            ("recover", "a"),
+        ]
+
+    def test_timeline_orders_by_time_then_repr(self, line):
+        crashes = CrashSchedule((("b", 2.0),))
+        schedule = MembershipSchedule((leave("c", 1.0), recover("b", 4.0)))
+        kinds = [kind for _, _, kind, _, _ in schedule.timeline(crashes)]
+        assert kinds == ["leave", "crash", "recover"]
+
+
+class TestCrashScheduleRecrash:
+    def test_duplicate_rejected_by_default(self):
+        with pytest.raises(ScheduleError):
+            CrashSchedule((("a", 1.0), ("a", 2.0)))
+
+    def test_allow_recrash_flag(self):
+        schedule = CrashSchedule((("a", 1.0), ("a", 2.0)), allow_recrash=True)
+        assert len(schedule) == 2
+        assert schedule.shifted(1.0).allow_recrash
+        other = CrashSchedule((("b", 1.0),))
+        assert schedule.merged(other).allow_recrash
+
+
+class TestBuilders:
+    def test_recovery_for(self):
+        graph = grid(4, 4)
+        crashes = region_crash(graph, [(1, 1), (1, 2)], at=2.0)
+        membership = recovery_for(crashes, downtime=10.0)
+        assert membership.nodes == crashes.nodes
+        assert all(event.time == 12.0 for event in membership)
+        membership.validate(graph, crashes)
+
+    def test_crash_recover_recrash(self):
+        graph = grid(4, 4)
+        crashes, membership = crash_recover_recrash(
+            graph, [(1, 1), (1, 2)], crash_at=1.0, recover_at=5.0, recrash_at=9.0
+        )
+        assert crashes.allow_recrash
+        assert len(crashes) == 4
+        assert len(membership) == 2
+        membership.validate(graph, crashes)
+
+    def test_crash_recover_recrash_ordering_enforced(self):
+        graph = grid(4, 4)
+        with pytest.raises(MembershipError):
+            crash_recover_recrash(
+                graph, [(1, 1)], crash_at=5.0, recover_at=1.0, recrash_at=9.0
+            )
+
+    def test_steady_state_churn_is_deterministic_and_valid(self):
+        graph = torus(8, 8)
+        first = steady_state_churn(graph, churn_rate=0.05, duration=50.0, seed=3)
+        second = steady_state_churn(graph, churn_rate=0.05, duration=50.0, seed=3)
+        assert first[0].crashes == second[0].crashes
+        assert first[1].events == second[1].events
+        first[1].validate(graph, first[0])
+
+    def test_steady_state_churn_concurrent_victims_not_adjacent(self):
+        # Cycles overlapping in time must use disjoint, non-adjacent
+        # regions; cycles far apart in time may reuse nodes freely.
+        graph = torus(8, 8)
+        downtime, margin = 15.0, 15.0
+        crashes, _ = steady_state_churn(
+            graph,
+            churn_rate=0.1,
+            duration=50.0,
+            seed=1,
+            downtime=downtime,
+            settle_margin=margin,
+        )
+        cycles: dict[float, set] = {}
+        for node, time in crashes.crashes:
+            cycles.setdefault(time, set()).add(node)
+        items = sorted(cycles.items())
+        for i, (t1, r1) in enumerate(items):
+            for t2, r2 in items[i + 1 :]:
+                if t2 - t1 >= downtime + margin:
+                    continue
+                assert not (r1 & r2)
+                for u in r1:
+                    for v in r2:
+                        assert not graph.has_edge(u, v)
+
+    def test_steady_state_churn_rate_scales_cycle_count(self):
+        graph = torus(8, 8)
+        low, _ = steady_state_churn(graph, churn_rate=0.005, duration=100.0, seed=2)
+        high, _ = steady_state_churn(graph, churn_rate=0.05, duration=100.0, seed=2)
+        assert len(high) > len(low)
+
+    def test_flash_crowd_ids_and_validation(self):
+        graph = grid(4, 4)
+        membership = flash_crowd_joins(graph, count=3, at=1.0, seed=0)
+        assert len(membership) == 3
+        assert membership.joining_nodes == {
+            "newcomer-0",
+            "newcomer-1",
+            "newcomer-2",
+        }
+        membership.validate(graph)
+
+
+class TestAttachmentPolicies:
+    @pytest.fixture
+    def ring5(self) -> KnowledgeGraph:
+        return KnowledgeGraph(
+            [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("e", "a")]
+        )
+
+    def test_rejoin_old_edges(self, ring5):
+        policy = RejoinOldEdges()
+        neighbours = policy.neighbours_for(
+            "b",
+            current=ring5,
+            base=ring5,
+            crashed=frozenset({"b"}),
+            rng=random.Random(0),
+        )
+        assert neighbours == {"a", "c"}
+
+    def test_rejoin_via_repair_plan_uses_live_border(self, ring5):
+        # b and c are down; the live border of that region is {a, d}.
+        policy = RejoinViaRepairPlan()
+        neighbours = policy.neighbours_for(
+            "b",
+            current=ring5,
+            base=ring5,
+            crashed=frozenset({"b", "c"}),
+            rng=random.Random(0),
+        )
+        assert neighbours == {"a", "d"}
+
+    def test_fresh_join_by_locality_avoids_crashed(self, ring5):
+        policy = FreshJoinByLocality(fanout=2, anchor="a")
+        neighbours = policy.neighbours_for(
+            "newcomer",
+            current=ring5,
+            base=ring5,
+            crashed=frozenset({"b"}),
+            rng=random.Random(0),
+        )
+        assert len(neighbours) == 2
+        assert "b" not in neighbours
+
+    def test_fresh_join_needs_live_nodes(self, ring5):
+        policy = FreshJoinByLocality(fanout=2)
+        with pytest.raises(AttachmentError):
+            policy.neighbours_for(
+                "newcomer",
+                current=ring5,
+                base=ring5,
+                crashed=frozenset(ring5.nodes),
+                rng=random.Random(0),
+            )
+
+    def test_fanout_validation(self):
+        with pytest.raises(AttachmentError):
+            FreshJoinByLocality(fanout=0)
