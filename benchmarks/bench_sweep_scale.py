@@ -1,0 +1,126 @@
+"""SCALE-1 benchmark: sharded sweep throughput and determinism.
+
+Times the large-torus scenario family (``torus_scale_tasks``) through
+:class:`repro.scale.ShardedSweepRunner` at ``workers=1`` and
+``workers=N``, asserts the two runs are digest-equal (the engine's
+determinism contract), and writes the measurements to ``BENCH_sweep.json``
+so the perf trajectory is tracked across PRs.
+
+Default configuration is the ROADMAP's 1024-node point (a 32x32 torus,
+8 scenarios); ``--side 64`` is the 4096-node point.  ``--smoke`` runs a
+tiny configuration suitable for CI.
+
+Run directly::
+
+    python benchmarks/bench_sweep_scale.py [--smoke] [--workers N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from time import perf_counter
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.scale import ShardedSweepRunner, torus_scale_tasks  # noqa: E402
+
+
+def run_benchmark(
+    side: int,
+    scenarios: int,
+    workers: int,
+    check: bool = True,
+) -> dict:
+    """Time the family at workers=1 and workers=``workers``."""
+    tasks = torus_scale_tasks(side=side, scenarios=scenarios, check=check)
+    runs = []
+    digests = []
+    for worker_count in sorted({1, workers}):
+        runner = ShardedSweepRunner(workers=worker_count)
+        started = perf_counter()
+        report = runner.run(tasks)
+        elapsed = perf_counter() - started
+        digests.append(report.digest())
+        runs.append(
+            {
+                "workers": worker_count,
+                "wall_time_s": round(elapsed, 3),
+                "worker_time_s": round(report.worker_time, 3),
+                "digest": report.digest(),
+                "all_hold": report.all_hold,
+                "all_quiescent": report.all_quiescent,
+                "total_messages": report.total_messages,
+                "total_decisions": report.total_decisions,
+            }
+        )
+    if len(set(digests)) != 1:
+        raise AssertionError(
+            f"sharded sweep is not deterministic across worker counts: {digests}"
+        )
+    speedup = (
+        runs[0]["wall_time_s"] / runs[-1]["wall_time_s"]
+        if len(runs) > 1 and runs[-1]["wall_time_s"] > 0
+        else 1.0
+    )
+    return {
+        "benchmark": "bench_sweep_scale",
+        "config": {
+            "side": side,
+            "nodes": side * side,
+            "scenarios": scenarios,
+            "workers": workers,
+            "check": check,
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "runs": runs,
+        "speedup": round(speedup, 3),
+        "digest_equal": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny CI configuration (8x8 torus)"
+    )
+    parser.add_argument("--side", type=int, default=None, help="torus side length")
+    parser.add_argument("--scenarios", type=int, default=None)
+    parser.add_argument(
+        "--workers", type=int, default=0, help="sharded worker count (0 = CPU count)"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_sweep.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        side = args.side or 8
+        scenarios = args.scenarios or 4
+    else:
+        side = args.side or 32
+        scenarios = args.scenarios or 8
+    workers = args.workers if args.workers else max(os.cpu_count() or 1, 2)
+    result = run_benchmark(side=side, scenarios=scenarios, workers=workers)
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    for run in result["runs"]:
+        print(
+            f"workers={run['workers']}: wall={run['wall_time_s']}s "
+            f"worker_time={run['worker_time_s']}s digest={run['digest'][:12]}"
+        )
+    print(
+        f"speedup (workers={workers} vs 1): {result['speedup']}x  "
+        f"digest-equal: {result['digest_equal']}  -> {args.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -418,8 +418,33 @@ def check_churn_border_termination(gt: ChurnGroundTruth) -> PropertyReport:
         graph = gt.epoch_at(index).graph
         if decision.view.members - graph.nodes:
             continue  # reported by CD2
-        wave_disrupted = any(
-            gt.recovers_after(member, index) for member in decision.view.members
+        # The wave is cut short when churn touches the instance: a view
+        # member recovering makes the region itself stale, a border
+        # *participant* reincarnating mid-wave makes the instance state
+        # stale (laggards restart it against the new incarnation while
+        # early deciders keep their — still valid — decision), and a
+        # causally stale decision (recorded after a member's recovery
+        # whose announcement had not yet reached the decider) belongs to
+        # the epoch that recovery closed, so the border abandoned the
+        # wave legitimately.
+        wave_disrupted = (
+            any(gt.recovers_after(member, index) for member in decision.view.members)
+            or any(
+                gt.recovers_after(participant, index)
+                for participant in graph.border(decision.view.members)
+            )
+            or gt.causally_stale(decision.node, decision.view, index)
+            # The participant-level mirror of causal staleness: a border
+            # participant recovered before the decision but the
+            # announcement wave had not yet reached the decider.  The
+            # decider completed the instance causally inside the closed
+            # epoch; peers that processed the announcement first
+            # abandoned the same instance legitimately.
+            or any(
+                not gt.is_down_at(participant, index)
+                and gt.was_down_for(decision.node, participant, index)
+                for participant in graph.border(decision.view.members)
+            )
         )
         if wave_disrupted:
             continue

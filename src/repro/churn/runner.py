@@ -94,6 +94,10 @@ class ChurnRunResult:
         )
         return self.specification
 
+    def digest(self) -> str:
+        """Canonical trace digest (see :meth:`TraceRecorder.digest`)."""
+        return self.trace.digest()
+
     def summary(self) -> str:
         """Multi-line human-readable summary (used by the CLI/examples)."""
         joins = len(self.membership.of_kind(MembershipEventKind.JOIN))

@@ -23,6 +23,7 @@ from typing import Callable
 
 from .experiments import (
     churn_flash_crowd_scenario,
+    churn_property_sweep,
     churn_recovery_race_scenario,
     churn_steady_scenario,
     fig1a_scenario,
@@ -114,10 +115,29 @@ def _cmd_repair(args: argparse.Namespace, write: Callable[[str], object]) -> int
 
 
 def _cmd_sweep(args: argparse.Namespace, write: Callable[[str], object]) -> int:
-    cases = property_sweep(seeds=tuple(range(args.cases)))
+    from .scale import resolve_workers
+
+    seeds = tuple(range(args.cases))
+    workers = resolve_workers(args.workers)
+    if args.churn:
+        churn_cases = churn_property_sweep(seeds=seeds, workers=workers)
+        write(
+            format_table(
+                [case.as_row() for case in churn_cases],
+                title="EXP-C1 adversarial churn sweep",
+            )
+        )
+        ok = all(case.specification_holds for case in churn_cases)
+        violating = [c.seed for c in churn_cases if not c.specification_holds]
+        write(f"workers: {workers}  all hold: {ok}  violations: {violating}")
+        return 0 if ok else 1
+    cases = property_sweep(seeds=seeds, workers=workers)
     write(format_table([case.as_row() for case in cases], title="EXP-C1 sweep"))
     summary = sweep_summary(cases)
-    write(f"all hold: {summary['all_hold']}  violations: {summary['violating_seeds']}")
+    write(
+        f"workers: {workers}  all hold: {summary['all_hold']}  "
+        f"violations: {summary['violating_seeds']}"
+    )
     return 0 if summary["all_hold"] else 1
 
 
@@ -191,6 +211,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser("sweep", help="EXP-C1 adversarial property sweep")
     sweep.add_argument("--cases", type=int, default=10)
+    def _worker_count(text: str) -> int:
+        value = int(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError("workers must be >= 0")
+        return value
+
+    sweep.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help="shard the sweep over N worker processes (0 = one per CPU); "
+        "results are identical for every worker count",
+    )
+    sweep.add_argument(
+        "--churn",
+        action="store_true",
+        help="run the adversarial churn extension (random joins/recoveries "
+        "racing cascades, epoch-quotiented CD1-CD7)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     churn = sub.add_parser(

@@ -31,12 +31,19 @@ class RoundMessage:
     opinions:
         The sender's opinion vector for round ``round - 1`` (or its own
         initial opinion for round 1), as a plain mapping.
+    attempt:
+        The sender's instance *generation* for this view (churn
+        extension; always 0 in the static model).  Membership-epoch
+        purges bump it, letting receivers discard stale in-flight
+        messages from a closed attempt and adopt restarts they have not
+        seen announced yet (see ``CliffEdgeNode.on_message``).
     """
 
     round: int
     view: Region
     border: frozenset[NodeId]
     opinions: Mapping[NodeId, Opinion] = field(default_factory=dict)
+    attempt: int = 0
 
     def __post_init__(self) -> None:
         if self.round < 1:

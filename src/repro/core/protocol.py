@@ -142,6 +142,38 @@ class CliffEdgeNode(Process):
         self.instances_started: int = 0
         #: Number of own instances that failed and were reset.
         self.instances_failed: int = 0
+        #: Churn extension: per-view instance *generation*.  Always 0 in
+        #: the static model.  A membership-epoch purge of a view's
+        #: instance state bumps it, and round messages carry it, so stale
+        #: in-flight messages from a closed attempt are discarded instead
+        #: of poisoning the restarted instance (deliberately *not*
+        #: cleared by :meth:`_drop_instance_state`).
+        self.instance_attempt: dict[Region, int] = {}
+        #: Churn extension: True once a join/recovery announcement has
+        #: been folded in.  Gates the after-failure candidate recompute so
+        #: the static model's behaviour stays byte-identical.
+        self.epoch_changed: bool = False
+        #: Churn extension: floor for attempts this node mints.  The
+        #: runtime seeds it with ``incarnation << 20`` at (re)spawn (see
+        #: :meth:`set_incarnation`), so a reincarnated node's instance
+        #: generations can never collide with — and always supersede —
+        #: the generations of its previous life.  0 in the static model.
+        self.attempt_base: int = 0
+
+    def set_incarnation(self, incarnation: int) -> None:
+        """Called by the runtimes when spawning this process (churn).
+
+        ``incarnation`` counts the node's lives (0 for the initial
+        population).  Shifting it into the attempt floor keeps instance
+        generations globally monotone across reincarnations; the shift
+        leaves room for far more per-life epoch purges than any run can
+        produce.
+        """
+        self.attempt_base = incarnation << 20
+
+    def _attempt_of(self, view: Region) -> int:
+        """The current instance generation of ``view`` at this node."""
+        return self.instance_attempt.get(view, self.attempt_base)
 
     # ------------------------------------------------------------------
     # Event handlers (Process interface)
@@ -170,23 +202,147 @@ class CliffEdgeNode(Process):
         best = self.ranking.max_ranked(ctx.graph, regions)  # type: ignore[attr-defined]
         if self.max_view is None or self.ranking.precedes(ctx.graph, self.max_view, best):
             self.max_view = best
-            # In the static model this node always borders ``best`` (each
-            # notified crash is adjacent to a known one or to the node
-            # itself), so the guard is a no-op there.  Under churn, stale
-            # cross-epoch detector state can notify crashes out of
-            # adjacency order; a node that does not (yet) border the
-            # region must not propose it.
-            if self.node_id in ctx.graph.border(best.members):
-                self.candidate_view = best
+            # In the static model this node borders *every* component of
+            # its locally crashed set (knowledge only spreads along chains
+            # of crashed nodes starting at its own neighbours), so taking
+            # the best *bordered* component is exactly ``best`` there.
+            # Under churn, recoveries can fragment the knowledge — or
+            # stale cross-epoch detector state can notify crashes out of
+            # adjacency order — leaving the globally best component
+            # without this node on its border; proposing it would be
+            # wrong, and staying silent would starve the component the
+            # node *does* border (a CD7 deadlock found by the adversarial
+            # churn sweep).
+            bordered_best = self._best_bordered(ctx, regions)
+            if bordered_best is not None:
+                self.candidate_view = bordered_best
         self._evaluate_guards(ctx)
+
+    def _best_bordered(self, ctx: ProcessContext, regions: list[Region]) -> Optional[Region]:
+        """The highest-ranked region this node borders (None when none)."""
+        bordered = [
+            region
+            for region in regions
+            if self.node_id in ctx.graph.border(region.members)
+        ]
+        if not bordered:
+            return None
+        return self.ranking.max_ranked(ctx.graph, bordered)  # type: ignore[attr-defined]
 
     def on_message(self, ctx: ProcessContext, sender: NodeId, message: Any) -> None:
         """Lines 18-25: updating opinions for a (possibly conflicting) view."""
         if not isinstance(message, RoundMessage):
             raise ProtocolError(f"unexpected message type {type(message).__name__}")
         view = message.view
+        # Churn extension: instance-generation gate (no-op statically,
+        # where every attempt is 0).  A message from a closed attempt is
+        # stale — processing it would poison the restarted instance with
+        # opinions (e.g. rejections) given in a previous membership
+        # epoch.  A message from a *newer* attempt means a peer already
+        # processed an epoch change this node has not seen announced yet:
+        # adopt the restart now, so none of the fresh instance's messages
+        # are lost to stale local state.
+        local_attempt = self._attempt_of(view)
+        if message.attempt < local_attempt:
+            # The sender is behind — typically a freshly reincarnated
+            # border node whose attempt counters restarted at 0.  Its
+            # message must not touch current state, but a live proposer
+            # cannot be left hanging either (a silent drop deadlocks its
+            # instance, and with it every instance waiting on the
+            # sender).  Answer every stale-attempt message that carries
+            # the sender's own live accept — a round-1 proposal or a
+            # mid-instance relay, both meaning the sender is still
+            # driving the doomed attempt:
+            #
+            # * if the view is this node's own current instance at the
+            #   newer attempt, catch the sender up by re-sending our
+            #   round-1 vector — the original multicast went to the
+            #   sender's previous incarnation;
+            # * otherwise reject at the sender's attempt (statelessly):
+            #   either arbitration would reject it anyway, or the attempt
+            #   itself was closed by a membership epoch this node has
+            #   processed — in both cases the sender's doomed instance
+            #   must fail so view construction can move it on.
+            if is_accept(message.opinions.get(sender)):
+                if (
+                    view == self.current_view
+                    and self.proposed is not None
+                    and view in self.received
+                ):
+                    ctx.send(
+                        sender,
+                        RoundMessage(
+                            1,
+                            view,
+                            self.instance_border[view],
+                            self.opinions[view][1].as_mapping(),
+                            attempt=local_attempt,
+                        ),
+                    )
+                elif self.arbitration_enabled:
+                    border = message.border
+                    vector: dict[NodeId, Any] = {node: None for node in border}
+                    vector[self.node_id] = REJECT
+                    ctx.send(
+                        sender,
+                        RoundMessage(1, view, border, vector, attempt=message.attempt),
+                    )
+            return
+        if message.attempt > local_attempt:
+            if view == self.decided_view:
+                # The decision stands (the region itself did not change);
+                # record the newer attempt so its messages keep being
+                # ignored without re-processing this branch.
+                self.instance_attempt[view] = message.attempt
+                return
+            # Answer live proposers of the dying attempt before adopting
+            # the newer one (their round-1 was merged into the state that
+            # is about to vanish, and they are waiting on us).
+            self._farewell_rejects(ctx, view, exclude=sender)
+            self.instance_attempt[view] = message.attempt
+            self._drop_instance_state(view)
+            if self.current_view == view:
+                self.proposed = None
+                self.current_view = None
+                self.round = 0
+            if (
+                self.decided is None
+                and self.proposed is None
+                and self.candidate_view is None
+                and self.node_id in message.border
+                and view.members <= frozenset(self.locally_crashed)
+            ):
+                # Re-arm so this node re-enters the fresh attempt; a
+                # pending candidate (picked by view construction, which
+                # knows more than this message) is never overwritten, and
+                # a node only ever proposes from its *own* crash
+                # evidence — a fresh incarnation mid-announcement-wave
+                # must not start proposing regions on hearsay.
+                self.candidate_view = view
         if view in self.rejected:
             # Guard of line 18: messages about rejected views are ignored.
+            # One refinement for churn: a *freshly reincarnated* border
+            # node proposing this view has never seen the reject this
+            # node multicast to its previous incarnation — swallowing the
+            # proposal silently would hang its instance forever.  Re-send
+            # the stance directly to the proposer; for a same-epoch
+            # proposer this is a duplicate whose entries merge to nothing
+            # (first-writer-wins), so the static protocol is unaffected
+            # beyond the one extra message.
+            if (
+                self.arbitration_enabled
+                and message.round == 1
+                and is_accept(message.opinions.get(sender))
+            ):
+                border = self.instance_border.get(view, message.border)
+                vector: dict[NodeId, Any] = {node: None for node in border}
+                vector[self.node_id] = REJECT
+                ctx.send(
+                    sender,
+                    RoundMessage(
+                        1, view, frozenset(border), vector, attempt=message.attempt
+                    ),
+                )
             return
         if view not in self.received:
             self._initialise_instance_state(view, message.border)
@@ -222,6 +378,53 @@ class CliffEdgeNode(Process):
             node for node, opinion in message.opinions.items() if is_reject(opinion)
         }
         self.waiting[view][message.round] -= {sender}
+        if message.round > 1:
+            # A round-r message proves the sender sent every earlier round
+            # of this instance.  With FIFO channels those messages already
+            # arrived — unless this node's instance state was rebuilt by a
+            # membership-epoch purge after they were consumed (churn).  A
+            # node's own opinion never changes within an instance, so
+            # backfilling just the sender's entry and un-waiting it for
+            # earlier rounds is a no-op statically and unblocks the
+            # restarted instance under churn.
+            sender_opinion = message.opinions.get(sender)
+            for earlier_round in range(1, message.round):
+                earlier_vector = self.opinions[view].get(earlier_round)
+                if earlier_vector is None:
+                    continue
+                if sender_opinion is not None and earlier_vector.get(sender) is None:
+                    earlier_vector.set(sender, sender_opinion)
+                self.waiting[view][earlier_round] -= {sender}
+        if (
+            self.epoch_changed
+            and view == self.current_view
+            and self.proposed is not None
+            and self.decided is None
+            and message.round < self.round
+            and is_accept(message.opinions.get(sender))
+        ):
+            # Churn catch-up (never triggers statically: the gate requires
+            # a processed membership epoch).  The sender is an active
+            # participant rounds behind our own instance — typically a
+            # reincarnated node whose copies of the earlier rounds were
+            # delivered to its previous life and dropped.  Nobody resends
+            # rounds in the static protocol, so without help the sender
+            # waits forever and the whole border deadlocks behind it.
+            # Re-sending our newest round vector lets its backfill (above)
+            # un-wait us for every earlier round and absorb our cumulative
+            # knowledge; each ahead participant answers for itself.
+            newest = self.opinions[view].get(self.round)
+            if newest is not None:
+                ctx.send(
+                    sender,
+                    RoundMessage(
+                        self.round,
+                        view,
+                        self.instance_border[view],
+                        newest.as_mapping(),
+                        attempt=local_attempt,
+                    ),
+                )
         if rejectors:
             # A rejector has permanently left this instance (line 31): it
             # will never send a message for *any* round of this view, so
@@ -266,8 +469,35 @@ class CliffEdgeNode(Process):
             if node not in self.locally_crashed:
                 self.on_crash(ctx, node)
             return
+        self.epoch_changed = True
         self.locally_crashed.discard(node)
-        self._purge_views_containing(ctx, node)
+        self._purge_views_containing(ctx, node, incarnation=change.incarnation)
+        current = self.current_view
+        if (
+            current is not None
+            and self.proposed is not None
+            and self.decided is None
+            and current in self.received
+            and node in self.instance_border.get(current, frozenset())
+            and node in self.waiting[current].get(1, set())
+        ):
+            # Our active instance survived the purge, yet the announced
+            # node is a participant that never answered round 1: our
+            # round-1 multicast was delivered to its previous incarnation
+            # and dropped.  Re-send the round-1 vector to the fresh
+            # incarnation — without this the instance (and every instance
+            # waiting on us) is stranded; incarnation floors alone cannot
+            # catch it because different nodes' floors coincide.
+            ctx.send(
+                node,
+                RoundMessage(
+                    1,
+                    current,
+                    self.instance_border[current],
+                    self.opinions[current][1].as_mapping(),
+                    attempt=self._attempt_of(current),
+                ),
+            )
         # Re-read the neighbourhood: edges may have changed with the epoch,
         # and a recovered neighbour must be monitored afresh so a re-crash
         # is detected (subscriptions are per-incarnation).
@@ -288,15 +518,143 @@ class CliffEdgeNode(Process):
         self.instance_border.pop(view, None)
         self.complete_senders.pop(view, None)
 
-    def _purge_views_containing(self, ctx: ProcessContext, node: NodeId) -> None:
-        """Drop every tracked view containing ``node`` (now live again)."""
-        stale = {
-            view
-            for view in set(self.received) | set(self.rejected) | set(self.opinions)
-            if node in view.members
-        }
+    def _farewell_rejects(
+        self,
+        ctx: ProcessContext,
+        view: Region,
+        exclude: NodeId,
+    ) -> None:
+        """Answer live proposers before their instance state is dropped.
+
+        Called (only under churn) just before an epoch purge or an
+        attempt adoption discards ``view``'s instance state.  Any live
+        participant whose ``accept`` sits in the round-1 vector has
+        already multicast its round-1 and is waiting for this node's
+        answer; dropping the state silently would leave that proposer —
+        and every instance waiting on *it* — stranded forever.  A
+        stateless reject at the dying attempt makes its instance fail, so
+        view construction moves it on.  Receivers that already moved past
+        this attempt ignore the message (attempt gate), so a redundant
+        farewell is harmless.
+        """
+        vector_by_round = self.opinions.get(view)
+        if not vector_by_round:
+            return
+        round_one = vector_by_round.get(1)
+        if round_one is None:
+            return
+        border = self.instance_border.get(view)
+        if border is None:
+            return
+        attempt = self._attempt_of(view)
+        reply: dict[NodeId, Any] = {member: None for member in border}
+        reply[self.node_id] = REJECT
+        farewell = RoundMessage(1, view, border, reply, attempt=attempt)
+        for sender, opinion in round_one.as_mapping().items():
+            if (
+                sender != self.node_id
+                and sender != exclude
+                and sender not in self.locally_crashed
+                and is_accept(opinion)
+            ):
+                ctx.send(sender, farewell)
+
+    def _purge_views_containing(
+        self, ctx: ProcessContext, node: NodeId, incarnation: int = 0
+    ) -> None:
+        """Drop every tracked view made stale by ``node`` becoming live.
+
+        ``incarnation`` is the node's life count in the new epoch; the
+        *floor* ``incarnation << 20`` is the lowest instance generation
+        the fresh incarnation itself can mint (see
+        :meth:`set_incarnation`).
+
+        Two kinds of staleness:
+
+        * views *containing* ``node`` — the region no longer exists, so
+          instance state, rejections and even decisions about it belong
+          to the closed epoch;
+        * views whose *participant set* contains ``node``, at a
+          generation *below the floor* — the instance was running among a
+          border that included the node's previous incarnation.  Its
+          round vectors (and any rejection this node issued while a
+          since-purged higher-ranked view was in flight) can never
+          complete: the old incarnation will not speak again, and a stale
+          ``reject`` entry would poison every later attempt, deadlocking
+          the border at quiescence with no decision (a CD7 violation
+          surfaced by the adversarial churn sweep).  Dropping the state
+          re-arms a clean same-view instance among the new epoch's
+          incarnations.  An instance already *at or above* the floor was
+          started by the fresh incarnation itself (its proposal can race
+          its own recovery announcement) and must be left alone.  A
+          *decision* on such a view survives either way: the region
+          itself did not change, and the epoch-quotiented CD1 forbids
+          re-deciding it without a member-level epoch change.
+        """
+        floor = incarnation << 20
+
+        def border_stale_for(view: Region) -> bool:
+            """Participant-set staleness: ``node``'s previous life was in
+            the instance's border and the generation predates its new
+            incarnation's floor."""
+            if view == self.decided_view or self._attempt_of(view) >= floor:
+                return False
+            border = self.instance_border.get(view)
+            if border is None:
+                border = ctx.graph.border(view.members)
+            return node in border
+
+        def abandon_if_current(view: Region) -> None:
+            """Abandon the in-flight attempt; _recompute_candidate re-arms
+            it against the new epoch's participant set."""
+            if self.current_view == view:
+                self.proposed = None
+                self.current_view = None
+                self.round = 0
+
+        def bump_generation(view: Region) -> None:
+            """Open a new instance generation, converging on the
+            reincarnated node's floor (rather than local+1) so its own
+            fresh proposals land at an equal generation everywhere."""
+            self.instance_attempt[view] = max(self._attempt_of(view) + 1, floor)
+
+        tracked = set(self.received) | set(self.rejected) | set(self.opinions)
+        member_stale = {view for view in tracked if node in view.members}
+        border_stale: set[Region] = set()
+        for view in tracked - member_stale:
+            if border_stale_for(view):
+                border_stale.add(view)
+                abandon_if_current(view)
+        stale = member_stale | border_stale
         for view in stale:
+            if view in border_stale:
+                # Live proposers of a border-stale view do not hear this
+                # announcement-driven abandonment through their own
+                # purges reliably (they abandon member-stale views
+                # themselves, but a border-stale instance can be theirs
+                # alone); answer them before the state vanishes.
+                self._farewell_rejects(ctx, view, exclude=node)
             self._drop_instance_state(view)
+            # Messages of the purged attempt still in flight must not
+            # contaminate a restart.
+            bump_generation(view)
+        # A just-proposed current view may not be tracked yet (its state
+        # is lazily created by the first round message, which is still in
+        # flight).  Its generation must advance all the same — whether
+        # ``node`` is a member *or* a border participant — or those
+        # in-flight messages would assemble a ghost instance of the
+        # closed epoch; worse, an untracked current instance whose
+        # round-1 was delivered to the node's previous incarnation would
+        # keep waiting for an answer that can never come.
+        for held in (self.current_view, self.candidate_view):
+            if held is None or held in stale:
+                continue
+            if node in held.members:
+                # Member-staleness is unconditional: the region changed.
+                bump_generation(held)
+            elif border_stale_for(held):
+                bump_generation(held)
+                abandon_if_current(held)
         if self.candidate_view is not None and node in self.candidate_view.members:
             self.candidate_view = None
         if self.decided_view is not None and node in self.decided_view.members:
@@ -323,15 +681,19 @@ class CliffEdgeNode(Process):
         if self.locally_crashed:
             components = ctx.graph.connected_components(self.locally_crashed)
             regions = [Region(component) for component in components]
-            best = self.ranking.max_ranked(ctx.graph, regions)  # type: ignore[attr-defined]
-            self.max_view = best
+            self.max_view = self.ranking.max_ranked(ctx.graph, regions)  # type: ignore[attr-defined]
+            # As in on_crash: the proposable candidate is the best region
+            # this node *borders* — after recoveries fragment the local
+            # knowledge, the globally best component may belong to some
+            # other border entirely.
+            bordered_best = self._best_bordered(ctx, regions)
             if (
                 self.decided is None
                 and self.proposed is None
-                and best != self.current_view
-                and self.node_id in ctx.graph.border(best.members)
+                and bordered_best is not None
+                and bordered_best != self.current_view
             ):
-                self.candidate_view = best
+                self.candidate_view = bordered_best
         else:
             self.max_view = None
 
@@ -357,6 +719,16 @@ class CliffEdgeNode(Process):
             # the unmodified protocol; keep it as a safety net.
             return False
         view = self.candidate_view
+        if view in self.rejected:
+            # Statically unreachable: once a node rejects a view its own
+            # candidates only ever rank higher.  Under churn, the
+            # higher-ranked view that justified the stance can be purged
+            # by an epoch change, after which view construction
+            # legitimately re-picks the rejected view.  The stance (and
+            # the instance state poisoned by our own multicast reject) is
+            # stale: reopen a clean generation so peers restart with us.
+            self._drop_instance_state(view)
+            self.instance_attempt[view] = self._attempt_of(view) + 1
         self.current_view = view
         self.candidate_view = None
         self.proposed = self.decision_policy.select_value(ctx.graph, view, self.node_id)
@@ -375,7 +747,16 @@ class CliffEdgeNode(Process):
             value=self.proposed,
             border_size=len(border),
         )
-        ctx.multicast(border, RoundMessage(1, view, frozenset(border), initial))
+        ctx.multicast(
+            border,
+            RoundMessage(
+                1,
+                view,
+                frozenset(border),
+                initial,
+                attempt=self._attempt_of(view),
+            ),
+        )
         return True
 
     def _maybe_reject(self, ctx: ProcessContext) -> bool:
@@ -398,7 +779,16 @@ class CliffEdgeNode(Process):
         self.received.discard(view)
         self.rejected.add(view)
         ctx.record(EventKind.VIEW_REJECTED, payload=view, border_size=len(border))
-        ctx.multicast(border, RoundMessage(1, view, frozenset(border), vector))
+        ctx.multicast(
+            border,
+            RoundMessage(
+                1,
+                view,
+                frozenset(border),
+                vector,
+                attempt=self._attempt_of(view),
+            ),
+        )
 
     def _maybe_complete_round(self, ctx: ProcessContext) -> bool:
         """Lines 32-40: complete a round of the node's own instance."""
@@ -443,6 +833,19 @@ class CliffEdgeNode(Process):
                     payload=view,
                     rejectors=tuple(sorted(map(repr, final_vector.rejectors()))),
                 )
+                # Statically the better candidate is already pending (set
+                # by the crash notification that caused the rejection) and
+                # line 37 just waits for it.  Under churn a membership
+                # purge may have wiped that pending candidate while this
+                # instance was in flight; without recomputation the node
+                # would idle forever even though its local knowledge
+                # already names the view it should propose (a CD7
+                # deadlock found by the adversarial churn sweep).  Gated
+                # on ``epoch_changed`` so static executions — including
+                # the EXP-A2 weak-ranking liveness-loss demonstration —
+                # are untouched.
+                if self.epoch_changed:
+                    self._recompute_candidate(ctx)
         else:
             # Lines 38-40: advance to the next round, relaying everything
             # known from the round that just completed.
@@ -450,7 +853,13 @@ class CliffEdgeNode(Process):
             self.round += 1
             ctx.multicast(
                 border,
-                RoundMessage(self.round, view, border, previous.as_mapping()),
+                RoundMessage(
+                    self.round,
+                    view,
+                    border,
+                    previous.as_mapping(),
+                    attempt=self._attempt_of(view),
+                ),
             )
         return True
 

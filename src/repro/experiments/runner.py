@@ -72,6 +72,15 @@ class RunResult:
         )
         return self.specification
 
+    def digest(self) -> str:
+        """Canonical trace digest — the run's deterministic fingerprint.
+
+        Two runs with identical (topology, schedule, seed, knobs) produce
+        the same digest regardless of which process executed them; the
+        sharded sweep engine (:mod:`repro.scale`) compares these.
+        """
+        return self.trace.digest()
+
     def summary(self) -> str:
         """Multi-line human-readable summary (used by examples)."""
         lines = [

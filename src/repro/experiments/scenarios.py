@@ -444,3 +444,78 @@ def churn_flash_crowd_scenario(
         ),
         labels={"crowd": crowd, "seed": seed},
     )
+
+
+# ---------------------------------------------------------------------------
+# Large-torus scale family (the sharded-sweep workload)
+# ---------------------------------------------------------------------------
+def torus_block_scenario(
+    side: int = 32,
+    block_side: int = 2,
+    origin: tuple[int, int] = (1, 1),
+    at: float = 1.0,
+) -> Scenario:
+    """A ``block_side²`` block crash on a ``side×side`` torus.
+
+    The workhorse of the scale sweeps: a ``side=32`` torus is the
+    1024-node benchmark point, ``side=64`` the 4096-node one.  The block
+    wraps around the torus when the origin sits near an edge (the torus
+    has no edges, so the region stays connected), which lets the family
+    builders spread scenarios anywhere without bounds checking.
+    """
+    if side < 3:
+        raise ValueError("torus side must be at least 3")
+    if not (1 <= block_side < side - 1):
+        raise ValueError("block must be smaller than the torus")
+    graph = torus(side, side)
+    ox, oy = origin
+    block = [
+        ((ox + dx) % side, (oy + dy) % side)
+        for dx in range(block_side)
+        for dy in range(block_side)
+    ]
+    schedule = region_crash(graph, block, at=at)
+    return Scenario(
+        name=f"torus{side}x{side}-block{block_side}@{(ox % side, oy % side)}",
+        graph=graph,
+        schedule=schedule,
+        description=(
+            f"a {block_side}x{block_side} block crashes on a {side}x{side} "
+            f"torus ({side * side} nodes); the border agrees locally."
+        ),
+        labels={
+            "side": side,
+            "nodes": side * side,
+            "block_side": block_side,
+            "origin": (ox % side, oy % side),
+        },
+    )
+
+
+def torus_scale_family(
+    side: int = 64,
+    scenarios: int = 8,
+    block_side: int = 2,
+) -> list[Scenario]:
+    """``scenarios`` independent block crashes spread over one big torus.
+
+    ``side=64`` is the 4096-node scale family from the ROADMAP; each
+    scenario crashes a distinct block along the torus diagonal, so a
+    sweep over the family exercises many localities of the same large
+    topology.  Runs are independent — ideal shards for
+    :class:`~repro.scale.ShardedSweepRunner`.
+    """
+    if scenarios < 1:
+        raise ValueError("need at least one scenario")
+    stride = max(side // scenarios, block_side + 2)
+    family = []
+    for index in range(scenarios):
+        offset = (index * stride) % side
+        family.append(
+            torus_block_scenario(
+                side=side,
+                block_side=block_side,
+                origin=(offset, (offset + index) % side),
+            )
+        )
+    return family

@@ -414,6 +414,11 @@ class AsyncRuntime:
         if old_task is not None:
             old_task.cancel()
         process = self._process_factory(node)
+        seed_incarnation = getattr(process, "set_incarnation", None)
+        if callable(seed_incarnation):
+            # Same contract as the simulator: a reincarnated process
+            # mints instance generations above its previous life's.
+            seed_incarnation(self._inc(node))
         self._processes[node] = process
         self._contexts[node] = _AsyncContext(self, node)
         self._inboxes[node] = _Inbox()
@@ -439,7 +444,7 @@ class AsyncRuntime:
         process = self._spawn_node(node)
         self.trace.emit(self.now(), EventKind.NODE_STARTED, node=node)
         process.on_start(self._contexts[node])
-        self._announce(MembershipChange("join", node, neighbours))
+        self._announce(MembershipChange("join", node, neighbours, incarnation=self._inc(node)))
 
     def _recover(self, node: NodeId, attachment: Any) -> None:
         if node not in self.graph:
@@ -473,7 +478,8 @@ class AsyncRuntime:
         self.trace.emit(self.now(), EventKind.NODE_STARTED, node=node)
         process.on_start(self._contexts[node])
         self._announce(
-            MembershipChange("recover", node, neighbours), extra=old_watchers
+            MembershipChange("recover", node, neighbours, incarnation=self._inc(node)),
+            extra=old_watchers,
         )
 
     def _leave(self, node: NodeId) -> None:

@@ -1,0 +1,62 @@
+"""The scale subsystem: sharded multi-core sweep execution.
+
+``repro.scale`` is the foundation for every workload too large for one
+core: it fans independent (scenario × seed × topology) simulation runs
+across a process pool with deterministic per-run seeding and merges the
+results into an order-stable, digest-verifiable report.
+
+* :mod:`repro.scale.task` — picklable task/outcome records and errors;
+* :mod:`repro.scale.seeding` — hash-seed-independent seed derivation;
+* :mod:`repro.scale.families` — the named scenario-family registry
+  (EXP-C1 property cases, adversarial churn cases, churn scenarios, the
+  large-torus block family) plus task-list builders;
+* :mod:`repro.scale.sweep` — :class:`ShardedSweepRunner` itself.
+
+Determinism contract: a sweep's outcome — every run's canonical trace
+digest and the merged report digest — is a pure function of
+``(tasks, base_seed)`` and is *independent of the worker count*.  The
+determinism regression suite (``tests/integration``) holds the project to
+this.
+"""
+
+from .families import (
+    FamilyFn,
+    churn_property_tasks,
+    family_names,
+    get_family,
+    property_tasks,
+    register_family,
+    run_task,
+    torus_scale_tasks,
+    unregister_family,
+)
+from .seeding import derive_seed
+from .sweep import ShardedSweepRunner, SweepReport, resolve_workers
+from .task import (
+    SweepError,
+    SweepOutcome,
+    SweepTask,
+    SweepTaskError,
+    UnknownFamilyError,
+)
+
+__all__ = [
+    "ShardedSweepRunner",
+    "SweepReport",
+    "SweepTask",
+    "SweepOutcome",
+    "SweepError",
+    "SweepTaskError",
+    "UnknownFamilyError",
+    "FamilyFn",
+    "register_family",
+    "unregister_family",
+    "get_family",
+    "family_names",
+    "run_task",
+    "property_tasks",
+    "churn_property_tasks",
+    "torus_scale_tasks",
+    "derive_seed",
+    "resolve_workers",
+]

@@ -1,0 +1,268 @@
+"""The sharded sweep engine.
+
+:class:`ShardedSweepRunner` fans independent (scenario × seed ×
+topology) runs across a process pool and merges the outcomes into a
+deterministic, order-stable report:
+
+* **Determinism** — every run's seed is derived from the sweep's base
+  seed and the task's identity *before* any work is distributed
+  (:mod:`repro.scale.seeding`), so ``workers=1`` and ``workers=N``
+  execute bit-identical runs; the per-run canonical trace digests (and
+  the combined report digest) are equal by construction, and the
+  determinism regression suite asserts exactly that.
+* **Order stability** — outcomes are merged in submission order no
+  matter which worker finishes first.
+* **Failure propagation** — an exception inside a worker surfaces in the
+  parent as a :class:`~repro.scale.task.SweepTaskError` naming the task,
+  index and effective seed (reproducible in-process via
+  ``run_task(error.task, seed=error.seed)``); a worker process dying
+  outright (``BrokenProcessPool``) is reported the same way, flagged as
+  possibly mis-attributed since a dead pool fails every in-flight task.
+* **Interrupt hygiene** — Ctrl-C cancels all queued work and tears the
+  pool down before re-raising.
+
+``workers<=1`` (or a single-task sweep) bypasses multiprocessing
+entirely and runs inline — same seeds, same outcomes, no pool overhead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Iterable, Optional, Sequence
+
+from ..trace.digest import combine_digests
+from .families import get_family, run_task
+from .seeding import derive_seed
+from .task import SweepOutcome, SweepTask, SweepTaskError
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a worker-count request (``None``/``0`` → CPU count)."""
+    if workers is None or workers == 0:
+        return max(os.cpu_count() or 1, 1)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def _mp_context():
+    """Prefer ``fork`` where available: workers inherit the family
+    registry (including dynamically registered families) and start in
+    milliseconds; elsewhere fall back to the platform default."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _execute_indexed(task: SweepTask, index: int, seed: int) -> SweepOutcome:
+    """Worker entry point: run one task and stamp its sweep position.
+
+    ``run_task`` already timed the execution; only the index is added.
+    """
+    outcome = run_task(task, seed=seed)
+    return outcome.with_position(index, outcome.wall_time)
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Merged, order-stable result of a sharded sweep."""
+
+    outcomes: tuple[SweepOutcome, ...]
+    workers: int
+    base_seed: int
+    #: Wall-clock seconds of the whole sweep (parent-side, incl. merge).
+    wall_time: float
+    labels: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def digest(self) -> str:
+        """Order-sensitive combination of the per-run digests.
+
+        Equal across worker counts iff every run's trace and the merge
+        order are identical — the sweep engine's determinism contract in
+        one hex string.
+        """
+        return combine_digests(outcome.digest for outcome in self.outcomes)
+
+    @property
+    def all_hold(self) -> bool:
+        """True when every run satisfied its specification."""
+        return all(outcome.spec_holds for outcome in self.outcomes)
+
+    @property
+    def all_quiescent(self) -> bool:
+        return all(outcome.quiescent for outcome in self.outcomes)
+
+    @property
+    def violating(self) -> tuple[SweepOutcome, ...]:
+        return tuple(o for o in self.outcomes if not o.spec_holds)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(o.messages for o in self.outcomes)
+
+    @property
+    def total_decisions(self) -> int:
+        return sum(o.decisions for o in self.outcomes)
+
+    @property
+    def worker_time(self) -> float:
+        """Sum of per-run wall times (the work actually parallelised)."""
+        return sum(o.wall_time for o in self.outcomes)
+
+    def cases(self) -> list[Any]:
+        """The family-specific case records, in submission order."""
+        return [o.case for o in self.outcomes if o.case is not None]
+
+    def as_rows(self) -> list[dict[str, Any]]:
+        return [o.as_row() for o in self.outcomes]
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "runs": len(self.outcomes),
+            "workers": self.workers,
+            "all_hold": self.all_hold,
+            "all_quiescent": self.all_quiescent,
+            "total_messages": self.total_messages,
+            "total_decisions": self.total_decisions,
+            "wall_time": self.wall_time,
+            "worker_time": self.worker_time,
+            "digest": self.digest(),
+            "violating_indices": [o.index for o in self.violating],
+        }
+
+
+class ShardedSweepRunner:
+    """Fan independent simulation runs across a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``None``/``0`` means one worker per CPU, ``1`` runs
+        inline without a pool (the single-worker fallback path).
+    base_seed:
+        Root of the deterministic per-run seed derivation.
+    """
+
+    def __init__(self, workers: Optional[int] = None, base_seed: int = 0) -> None:
+        self.workers = resolve_workers(workers)
+        self.base_seed = base_seed
+
+    # ------------------------------------------------------------------
+    def seed_for(self, task: SweepTask, index: int) -> int:
+        """The seed a task at ``index`` will run with (pure function)."""
+        if task.seed is not None:
+            return task.seed
+        return derive_seed(self.base_seed, index, task.family, task.params)
+
+    def run(self, tasks: Iterable[SweepTask]) -> SweepReport:
+        """Execute every task and merge outcomes in submission order."""
+        task_list = list(tasks)
+        started = perf_counter()
+        # Fail fast on unknown families *before* spinning up a pool.
+        for task in task_list:
+            get_family(task.family)
+        seeds = [self.seed_for(task, index) for index, task in enumerate(task_list)]
+        if not task_list:
+            return SweepReport(
+                outcomes=(),
+                workers=self.workers,
+                base_seed=self.base_seed,
+                wall_time=perf_counter() - started,
+            )
+        if self.workers <= 1 or len(task_list) == 1:
+            outcomes = self._run_inline(task_list, seeds)
+        else:
+            outcomes = self._run_pooled(task_list, seeds)
+        return SweepReport(
+            outcomes=tuple(outcomes),
+            workers=self.workers,
+            base_seed=self.base_seed,
+            wall_time=perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_inline(
+        self, tasks: Sequence[SweepTask], seeds: Sequence[int]
+    ) -> list[SweepOutcome]:
+        """The single-worker fallback: same seeds, no pool."""
+        outcomes = []
+        for index, (task, seed) in enumerate(zip(tasks, seeds)):
+            try:
+                outcomes.append(_execute_indexed(task, index, seed))
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                raise SweepTaskError(task, index, repr(exc), seed=seed) from exc
+        return outcomes
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        """Build the pool (overridable seam for the interrupt tests)."""
+        return ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=_mp_context()
+        )
+
+    def _run_pooled(
+        self, tasks: Sequence[SweepTask], seeds: Sequence[int]
+    ) -> list[SweepOutcome]:
+        executor = self._make_executor()
+        futures = {}
+        wait_on_exit = True
+        try:
+            for index, (task, seed) in enumerate(zip(tasks, seeds)):
+                futures[executor.submit(_execute_indexed, task, index, seed)] = index
+            # Wait for everything, stopping at the first failure so a
+            # crashed worker does not stall the sweep behind queued work.
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            by_index: dict[int, SweepOutcome] = {}
+            failures: list[tuple[int, BaseException]] = []
+            for future in done:
+                index = futures[future]
+                exc = future.exception()
+                if exc is not None:
+                    failures.append((index, exc))
+                    continue
+                outcome = future.result()
+                by_index[index] = outcome
+            if failures:
+                for future in not_done:
+                    future.cancel()
+                # A dead worker delivers BrokenProcessPool to *every*
+                # in-flight future, innocent tasks included; a pickled
+                # in-task exception identifies the culprit precisely, so
+                # prefer it when both kinds are present.
+                precise = [
+                    f for f in failures if not isinstance(f[1], BrokenProcessPool)
+                ]
+                if precise:
+                    index, exc = min(precise, key=lambda f: f[0])
+                    reason = repr(exc)
+                else:
+                    index, exc = min(failures, key=lambda f: f[0])
+                    reason = (
+                        "worker process died (BrokenProcessPool); the crash may "
+                        "belong to any task that was in flight, this is merely "
+                        "the lowest-indexed one"
+                    )
+                raise SweepTaskError(
+                    tasks[index], index, reason, seed=seeds[index]
+                ) from exc
+            # Completion order is whatever the pool produced; the merge
+            # is by submission index, which makes aggregation
+            # order-stable by construction.
+            return [by_index[index] for index in range(len(tasks))]
+        except (KeyboardInterrupt, SystemExit):
+            # Do not block the interrupt on stragglers: cancel queued
+            # work and abandon the pool (workers get SIGINT too).
+            wait_on_exit = False
+            raise
+        finally:
+            executor.shutdown(wait=wait_on_exit, cancel_futures=True)

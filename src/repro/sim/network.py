@@ -101,7 +101,34 @@ class Simulator:
         Seed for all randomness (latency jitter, detector jitter).
     trace:
         Optional pre-existing recorder; a fresh one is created otherwise.
+    scheduler:
+        Optional pre-built :class:`EventScheduler` (the determinism
+        regression suite injects an unbatched one to compare dispatch
+        modes); a fresh batched scheduler is created otherwise.
     """
+
+    __slots__ = (
+        "graph",
+        "latency",
+        "failure_detector",
+        "trace",
+        "_rng",
+        "_scheduler",
+        "_processes",
+        "_contexts",
+        "_crashed",
+        "_crash_times",
+        "_subscriptions",
+        "_notification_scheduled",
+        "_channel_clock",
+        "_started",
+        "_base_graph",
+        "_incarnation",
+        "_departed",
+        "_pending_joins",
+        "_epoch",
+        "_process_factory",
+    )
 
     def __init__(
         self,
@@ -110,6 +137,7 @@ class Simulator:
         failure_detector: FailureDetectorPolicy | None = None,
         seed: int = 0,
         trace: TraceRecorder | None = None,
+        scheduler: EventScheduler | None = None,
     ) -> None:
         self.graph = graph
         self.latency = latency if latency is not None else ConstantLatency(1.0)
@@ -118,7 +146,7 @@ class Simulator:
         )
         self.trace = trace if trace is not None else TraceRecorder()
         self._rng = random.Random(seed)
-        self._scheduler = EventScheduler()
+        self._scheduler = scheduler if scheduler is not None else EventScheduler()
         self._processes: dict[NodeId, Process] = {}
         self._contexts: dict[NodeId, _SimContext] = {}
         self._crashed: set[NodeId] = set()
@@ -305,6 +333,8 @@ class Simulator:
         return self._incarnation.get(node, 0)
 
     def _send(self, source: NodeId, target: NodeId, message: Any) -> None:
+        # Hot path: every local/bound name below is touched once per
+        # protocol message, so attribute lookups are hoisted to locals.
         if target not in self.graph:
             # Departed and crashed nodes stay in the graph snapshot, so an
             # id outside it was never part of the system: a caller bug.
@@ -314,18 +344,23 @@ class Simulator:
             # if a handler stopped its own node mid-event, which the model
             # forbids.
             return
+        scheduler = self._scheduler
+        now = scheduler.now
         self.trace.emit(
-            self.now, EventKind.MESSAGE_SENT, node=source, peer=target, payload=message
+            now, EventKind.MESSAGE_SENT, node=source, peer=target, payload=message
         )
         delay = self.latency.sample(source, target, self._rng)
         if delay <= 0:
             raise SimulationError("latency model produced a non-positive delay")
         channel = (source, target)
-        earliest = self._channel_clock.get(channel, 0.0) + _FIFO_EPSILON
-        delivery_time = max(self.now + delay, earliest)
-        self._channel_clock[channel] = delivery_time
-        target_incarnation = self._inc(target)
-        self._scheduler.schedule_at(
+        channel_clock = self._channel_clock
+        earliest = channel_clock.get(channel, 0.0) + _FIFO_EPSILON
+        delivery_time = now + delay
+        if delivery_time < earliest:
+            delivery_time = earliest
+        channel_clock[channel] = delivery_time
+        target_incarnation = self._incarnation.get(target, 0)
+        scheduler.schedule_at(
             delivery_time,
             lambda: self._deliver(source, target, message, target_incarnation),
         )
@@ -337,24 +372,26 @@ class Simulator:
         message: Any,
         target_incarnation: int = 0,
     ) -> None:
+        emit = self.trace.emit
+        now = self._scheduler.now
         if (
             target in self._crashed
             or target in self._departed
             or target not in self.graph
-            or self._inc(target) != target_incarnation
+            or self._incarnation.get(target, 0) != target_incarnation
         ):
             # Crashed, departed, or addressed to a previous incarnation of
             # a node that has since recovered/rejoined: never delivered.
-            self.trace.emit(
-                self.now,
+            emit(
+                now,
                 EventKind.MESSAGE_DROPPED,
                 node=target,
                 peer=source,
                 payload=message,
             )
             return
-        self.trace.emit(
-            self.now,
+        emit(
+            now,
             EventKind.MESSAGE_DELIVERED,
             node=target,
             peer=source,
@@ -460,6 +497,12 @@ class Simulator:
                 "scheduling membership events"
             )
         process = self._process_factory(node)
+        seed_incarnation = getattr(process, "set_incarnation", None)
+        if callable(seed_incarnation):
+            # Let the fresh process mint instance generations that can
+            # never collide with its previous life's (see
+            # CliffEdgeNode.set_incarnation).
+            seed_incarnation(self._inc(node))
         self._processes[node] = process
         self._contexts[node] = _SimContext(self, node)
         return process
@@ -484,7 +527,7 @@ class Simulator:
         process = self._spawn_process(node)
         self.trace.emit(self.now, EventKind.NODE_STARTED, node=node)
         process.on_start(self._contexts[node])
-        self._announce(MembershipChange("join", node, neighbours))
+        self._announce(MembershipChange("join", node, neighbours, incarnation=self._inc(node)))
 
     def _recover(self, node: NodeId, attachment: Any) -> None:
         if node not in self.graph:
@@ -531,7 +574,8 @@ class Simulator:
         self.trace.emit(self.now, EventKind.NODE_STARTED, node=node)
         process.on_start(self._contexts[node])
         self._announce(
-            MembershipChange("recover", node, neighbours), extra=old_watchers
+            MembershipChange("recover", node, neighbours, incarnation=self._inc(node)),
+            extra=old_watchers,
         )
 
     def _leave(self, node: NodeId) -> None:

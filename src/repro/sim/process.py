@@ -45,6 +45,11 @@ class MembershipChange:
     node: NodeId
     #: The node's neighbours in the *new* membership epoch (empty for leave).
     neighbours: frozenset[NodeId] = frozenset()
+    #: The node's incarnation number in the new epoch (0 = initial life).
+    #: Protocol-level epoch fencing (``CliffEdgeNode``'s instance
+    #: generations) uses it to tell state involving the node's *previous*
+    #: life from state the fresh incarnation itself created.
+    incarnation: int = 0
 
     @property
     def alive(self) -> bool:

@@ -1,5 +1,6 @@
-"""Trace recording and metrics extraction."""
+"""Trace recording, canonical digests and metrics extraction."""
 
+from .digest import canonical_text, combine_digests, event_line, trace_digest
 from .metrics import RunMetrics, collect_metrics, communicating_nodes, message_pairs
 from .recorder import TraceRecorder
 
@@ -9,4 +10,8 @@ __all__ = [
     "collect_metrics",
     "communicating_nodes",
     "message_pairs",
+    "canonical_text",
+    "combine_digests",
+    "event_line",
+    "trace_digest",
 ]

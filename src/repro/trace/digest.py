@@ -1,0 +1,101 @@
+"""Canonical, hash-seed-independent trace digests.
+
+The sharded sweep engine (:mod:`repro.scale`) proves determinism by
+comparing digests of traces produced in *different* worker processes.  A
+naive ``repr``-based digest would not survive that: ``frozenset`` and
+``dict`` iteration order depends on ``PYTHONHASHSEED``, which differs
+between independently started interpreters (e.g. under the ``spawn`` or
+``forkserver`` multiprocessing start methods).
+
+:func:`canonical_text` therefore encodes every value through a recursive
+canonical form — collections are emitted in sorted order, dataclasses in
+field order — so two structurally equal traces always produce the same
+digest, no matter which process (or machine) recorded them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from collections.abc import Iterable, Mapping, Set
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (recorder imports us)
+    from ..sim.events import EventKind, TraceEvent
+    from .recorder import TraceRecorder
+
+
+def canonical_text(value: Any) -> str:
+    """A deterministic textual encoding of ``value``.
+
+    The encoding is injective enough for digesting: primitives render via
+    ``repr``, sets and mappings are sorted by their elements' canonical
+    text, sequences keep their order, dataclasses render as
+    ``ClassName(field=..., ...)`` in declaration order, and anything else
+    falls back to ``repr`` (which must itself be deterministic — every
+    payload type in this repository either is a handled shape or defines
+    a canonical ``__repr__``).
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value)
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ", ".join(
+            f"{field.name}={canonical_text(getattr(value, field.name))}"
+            for field in dataclasses.fields(value)
+        )
+        return f"{type(value).__name__}({fields})"
+    if isinstance(value, Mapping):
+        items = sorted(
+            (canonical_text(key), canonical_text(item)) for key, item in value.items()
+        )
+        inner = ", ".join(f"{key}: {item}" for key, item in items)
+        return f"{{{inner}}}"
+    if isinstance(value, (Set, frozenset, set)):
+        inner = ", ".join(sorted(canonical_text(item) for item in value))
+        return f"{{{inner}}}"
+    if isinstance(value, (tuple, list)):
+        inner = ", ".join(canonical_text(item) for item in value)
+        return f"({inner})"
+    return repr(value)
+
+
+def event_line(event: "TraceEvent") -> str:
+    """The canonical one-line encoding of a single trace event."""
+    return canonical_text(event)
+
+
+def trace_digest(
+    events: Iterable["TraceEvent"],
+    kinds: Optional[Iterable["EventKind"]] = None,
+) -> str:
+    """SHA-256 over the canonical encoding of ``events`` (hex digest).
+
+    With ``kinds`` given, only events of those kinds contribute — e.g.
+    digesting only ``DECIDED`` events compares outcomes while tolerating
+    runtime-specific message interleavings.
+    """
+    wanted = frozenset(kinds) if kinds is not None else None
+    hasher = hashlib.sha256()
+    for event in events:
+        if wanted is not None and event.kind not in wanted:
+            continue
+        hasher.update(event_line(event).encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def combine_digests(digests: Iterable[str]) -> str:
+    """Fold per-run digests into one order-sensitive aggregate digest.
+
+    The sharded sweep runner digests each run in its worker and combines
+    them *in submission order* in the parent, so the aggregate is equal
+    iff every run's trace is equal and the merge order is stable.
+    """
+    hasher = hashlib.sha256()
+    for digest in digests:
+        hasher.update(digest.encode("ascii"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()

@@ -122,3 +122,15 @@ class TraceRecorder:
     def to_lines(self) -> list[str]:
         """Human-readable rendering of the whole trace."""
         return [event.describe() for event in self._events]
+
+    def digest(self, *kinds: EventKind) -> str:
+        """Canonical SHA-256 digest of the trace (hex string).
+
+        Without arguments every event contributes; with ``kinds`` only
+        those event kinds do.  The encoding is independent of the hash
+        seed of the recording process (see :mod:`repro.trace.digest`), so
+        digests compare across worker processes and machines.
+        """
+        from .digest import trace_digest
+
+        return trace_digest(self._events, kinds=kinds if kinds else None)

@@ -1,0 +1,154 @@
+"""Determinism regression suite for the scale subsystem.
+
+Two contracts, each able to silently break the reproducibility the whole
+repository is built on:
+
+* **Sharding is invisible** — a sweep's per-run canonical trace digests
+  (and the merged report digest) are identical for ``workers=1`` and
+  ``workers=N``.
+* **Batched dispatch is invisible** — a full simulation run produces an
+  identical trace whether the scheduler uses the batched same-timestamp
+  fast path or the unbatched reference loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.churn import crash_recover_recrash, run_churn
+from repro.core import CliffEdgeNode
+from repro.experiments import churn_property_sweep, property_sweep, torus_scale_family
+from repro.failures import region_crash
+from repro.graph.generators import grid, torus
+from repro.scale import ShardedSweepRunner, churn_property_tasks, property_tasks, torus_scale_tasks
+from repro.sim import ConstantLatency, EventScheduler, PerfectFailureDetector, Simulator
+from repro.trace import collect_metrics
+
+
+class TestShardedSweepDeterminism:
+    def test_property_sweep_digest_equal_across_worker_counts(self):
+        seeds = tuple(range(4))
+        sequential = property_sweep(seeds=seeds, workers=1)
+        sharded = property_sweep(seeds=seeds, workers=2)
+        assert [case.digest for case in sequential] == [case.digest for case in sharded]
+        assert [case.as_row() for case in sequential] == [
+            case.as_row() for case in sharded
+        ]
+
+    def test_churn_sweep_digest_equal_across_worker_counts(self):
+        seeds = tuple(range(3))
+        sequential = churn_property_sweep(seeds=seeds, workers=1)
+        sharded = churn_property_sweep(seeds=seeds, workers=2)
+        assert [case.digest for case in sequential] == [case.digest for case in sharded]
+
+    def test_torus_family_report_digest_equal_across_worker_counts(self):
+        tasks = torus_scale_tasks(side=8, scenarios=3)
+        one = ShardedSweepRunner(workers=1).run(tasks)
+        many = ShardedSweepRunner(workers=3).run(tasks)
+        assert one.digest() == many.digest()
+        assert [o.digest for o in one.outcomes] == [o.digest for o in many.outcomes]
+        assert one.all_hold and one.all_quiescent
+
+    def test_derived_seeds_do_not_depend_on_worker_count(self):
+        tasks = property_tasks(range(3)) + churn_property_tasks(range(2))
+        for workers in (1, 2, 4):
+            runner = ShardedSweepRunner(workers=workers, base_seed=11)
+            seeds = [runner.seed_for(task, i) for i, task in enumerate(tasks)]
+            assert seeds == [
+                ShardedSweepRunner(workers=1, base_seed=11).seed_for(task, i)
+                for i, task in enumerate(tasks)
+            ]
+
+
+class TestBatchedDispatchDeterminism:
+    """Full runs through the Simulator: batched vs unbatched scheduler."""
+
+    @staticmethod
+    def _run(graph, apply_schedules, batch_dispatch: bool):
+        sim = Simulator(
+            graph,
+            latency=ConstantLatency(1.0),
+            failure_detector=PerfectFailureDetector(1.0),
+            seed=5,
+            scheduler=EventScheduler(batch_dispatch=batch_dispatch),
+        )
+        sim.populate(lambda node: CliffEdgeNode(node))
+        apply_schedules(sim)
+        sim.run()
+        return sim
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_static_block_run_identical_traces(self, seed):
+        graph = grid(6, 6)
+        schedule = region_crash(graph, [(2, 2), (2, 3), (3, 2), (3, 3)], at=1.0)
+        runs = {}
+        for batched in (True, False):
+            sim = Simulator(
+                graph,
+                latency=ConstantLatency(1.0),
+                failure_detector=PerfectFailureDetector(1.0),
+                seed=seed,
+                scheduler=EventScheduler(batch_dispatch=batched),
+            )
+            sim.populate(lambda node: CliffEdgeNode(node))
+            schedule.applied_to(sim)
+            sim.run()
+            runs[batched] = sim
+        assert runs[True].trace.digest() == runs[False].trace.digest()
+        assert runs[True].processed_events == runs[False].processed_events
+        metrics = collect_metrics(runs[True].trace)
+        assert metrics.decisions > 0
+
+    def test_churn_run_identical_traces(self):
+        graph = torus(6, 6)
+        crashes, membership = crash_recover_recrash(
+            graph, [(1, 1), (1, 2)], crash_at=1.0, recover_at=12.0, recrash_at=30.0
+        )
+        digests = set()
+        for batched in (True, False):
+            sim = Simulator(
+                graph,
+                latency=ConstantLatency(1.0),
+                failure_detector=PerfectFailureDetector(1.0),
+                seed=2,
+                scheduler=EventScheduler(batch_dispatch=batched),
+            )
+            sim.populate(lambda node: CliffEdgeNode(node))
+            membership.applied_to(sim, crashes=crashes)
+            sim.run()
+            digests.add(sim.trace.digest())
+        assert len(digests) == 1
+
+    def test_run_churn_default_matches_unbatched_outcomes(self):
+        # run_churn uses the default (batched) scheduler; its decisions
+        # must match an explicitly unbatched execution of the same script.
+        graph = torus(6, 6)
+        crashes, membership = crash_recover_recrash(
+            graph, [(2, 2)], crash_at=1.0, recover_at=10.0, recrash_at=25.0
+        )
+        batched_result = run_churn(graph, crashes, membership, seed=3, check=True)
+        sim = Simulator(
+            graph,
+            latency=ConstantLatency(1.0),
+            failure_detector=PerfectFailureDetector(1.0),
+            seed=3,
+            scheduler=EventScheduler(batch_dispatch=False),
+        )
+        sim.populate(lambda node: CliffEdgeNode(node))
+        membership.applied_to(sim, crashes=crashes)
+        sim.run()
+        assert batched_result.specification.holds
+        assert batched_result.trace.digest() == sim.trace.digest()
+
+
+@pytest.mark.slow
+class TestLargeTorusFamily:
+    """The 4096-node scale family (ROADMAP item); slow-marked."""
+
+    def test_4096_node_family_runs_and_verifies(self):
+        family = torus_scale_family(side=64, scenarios=4)
+        assert all(len(scenario.graph) == 4096 for scenario in family)
+        tasks = torus_scale_tasks(side=64, scenarios=4)
+        report = ShardedSweepRunner(workers=2).run(tasks)
+        assert report.all_hold and report.all_quiescent
+        assert report.digest() == ShardedSweepRunner(workers=1).run(tasks).digest()

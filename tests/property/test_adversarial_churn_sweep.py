@@ -1,0 +1,145 @@
+"""Adversarial churn property sweep: hypothesis-generated schedules.
+
+The EXP-C1 extension as a property: random cascades racing random
+membership schedules (recoveries of crashed nodes with short downtimes,
+flash-crowd joins mid-cascade) must always satisfy the epoch-quotiented
+CD1–CD7 specification and reach quiescence — on the deterministic
+simulator *and* on the asyncio runtime.
+
+This suite is what hardened the churn extension of the protocol: it
+found stale-rejection poisoning of restarted instances, cross-attempt
+message contamination, candidate starvation after knowledge
+fragmentation, and purge-wiped pending candidates (see
+``CliffEdgeNode``'s instance-generation machinery).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.churn import (
+    MembershipSchedule,
+    flash_crowd_joins,
+    recover,
+    run_churn,
+    run_churn_asyncio,
+)
+from repro.experiments import random_churn_membership, run_churn_sweep_case
+from repro.failures import CrashSchedule, cascade_crash
+from repro.graph.generators import torus
+
+from .test_graph_invariants import connected_graphs
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def churned_scenarios(draw, min_nodes=6, max_nodes=14):
+    """A connected graph + cascade crashes + racing membership schedule."""
+    graph = draw(connected_graphs(min_nodes=min_nodes, max_nodes=max_nodes))
+    nodes = sorted(graph.nodes)
+    start = draw(st.sampled_from(nodes))
+    size = draw(st.integers(1, max(1, min(len(nodes) // 3, 4))))
+    spacing = draw(st.floats(0.5, 3.0))
+    crashes = cascade_crash(graph, start, size, start=1.0, spacing=spacing)
+
+    # Recoveries: a random subset of the crashed nodes comes back after a
+    # short downtime — racing the in-flight agreement on the cascade.
+    last_crash = {}
+    for node, time in crashes.crashes:
+        last_crash[node] = max(time, last_crash.get(node, 0.0))
+    events = []
+    for node in sorted(last_crash, key=repr):
+        if draw(st.booleans()):
+            downtime = draw(st.floats(3.0, 20.0))
+            events.append(recover(node, last_crash[node] + downtime))
+    membership = MembershipSchedule(
+        tuple(sorted(events, key=lambda e: (e.time, repr(e.node))))
+    )
+
+    # Joins: a small flash crowd arriving while the cascade unfolds.
+    join_count = draw(st.integers(0, 2))
+    if join_count:
+        membership = membership.merged(
+            flash_crowd_joins(
+                graph,
+                count=join_count,
+                at=draw(st.floats(1.0, 6.0)),
+                spacing=draw(st.floats(0.0, 1.5)),
+                seed=draw(st.integers(0, 999)),
+            )
+        )
+    return graph, crashes, membership
+
+
+class TestAdversarialChurnSimulator:
+    @given(churned_scenarios(), st.integers(0, 3))
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_epoch_specification_holds(self, scenario, seed):
+        graph, crashes, membership = scenario
+        membership.validate(graph, crashes)
+        result = run_churn(graph, crashes, membership, seed=seed, check=True)
+        assert result.quiescent
+        assert result.specification.holds, result.specification.summary()
+
+    @given(st.integers(0, 2**20))
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_generator_based_cases_hold(self, seed):
+        """The seed-driven EXP-C1 churn generator, across arbitrary seeds."""
+        case = run_churn_sweep_case(seed)
+        assert case.quiescent
+        assert case.specification_holds, case.violations
+
+    def test_random_churn_membership_always_validates(self):
+        rng = random.Random(1234)
+        graph = torus(5, 5)
+        for _ in range(25):
+            start = sorted(graph.nodes)[rng.randrange(len(graph))]
+            crashes = cascade_crash(graph, start, rng.randint(1, 4), start=1.0)
+            membership = random_churn_membership(rng, graph, crashes)
+            membership.validate(graph, crashes)  # must never raise
+
+
+class TestAdversarialChurnAsyncio:
+    """The same adversarial shapes on the concurrent runtime.
+
+    Wall-clock-bound (the asyncio runtime runs in scaled real time), so
+    only a handful of examples; the heavier sim-side sweep above carries
+    the case volume.
+    """
+
+    @given(churned_scenarios(min_nodes=6, max_nodes=9), st.integers(0, 1))
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_epoch_specification_holds_on_asyncio(self, scenario, seed):
+        graph, crashes, membership = scenario
+        membership.validate(graph, crashes)
+        result = run_churn_asyncio(
+            graph, crashes, membership, seed=seed, check=True, timeout=60.0
+        )
+        assert result.quiescent
+        assert result.specification.holds, result.specification.summary()
+
+
+@pytest.mark.slow
+class TestAdversarialChurnSweepDepth:
+    """The deep sweep (CI's slow job): many seeds of the full generator."""
+
+    def test_first_forty_seeds_hold(self):
+        failing = []
+        for seed in range(40):
+            case = run_churn_sweep_case(seed)
+            if not (case.specification_holds and case.quiescent):
+                failing.append((seed, case.violations))
+        assert not failing, failing

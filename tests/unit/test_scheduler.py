@@ -101,6 +101,121 @@ class TestCancellation:
         assert handle.time == 3.5
 
 
+class TestCompaction:
+    """Lazy-deletion compaction keeps the heap bounded by live events."""
+
+    def test_heap_stays_bounded_under_heavy_cancellation(self):
+        # High-churn workloads schedule and cancel constantly; without
+        # compaction every cancelled entry would sit in the heap until
+        # its timestamp drains.  The heap must stay O(live).
+        scheduler = EventScheduler()
+        live = [scheduler.schedule(1000.0 + i, lambda: None) for i in range(10)]
+        for _ in range(20):
+            batch = [scheduler.schedule(500.0, lambda: None) for _ in range(100)]
+            for handle in batch:
+                handle.cancel()
+        assert scheduler.pending_events == len(live)
+        # Bounded: strictly fewer raw entries than the 2000+ cancellations.
+        assert scheduler.heap_size <= 2 * len(live) + 64
+
+    def test_compaction_preserves_event_order(self):
+        scheduler = EventScheduler()
+        order = []
+        handles = []
+        for index in range(200):
+            handles.append(
+                scheduler.schedule(float(index % 7) + 1.0, lambda i=index: order.append(i))
+            )
+        # Cancel every other event to force a compaction.
+        cancelled = {index for index in range(0, 200, 2)}
+        for index in sorted(cancelled):
+            handles[index].cancel()
+        scheduler.run()
+        survivors = [i for i in range(200) if i not in cancelled]
+        expected = sorted(survivors, key=lambda i: (float(i % 7) + 1.0, i))
+        assert order == expected
+
+    def test_cancellation_during_run_is_safe(self):
+        # A callback cancelling enough entries to trigger compaction must
+        # not desynchronise the running dispatch loop.
+        scheduler = EventScheduler()
+        seen = []
+        victims = [scheduler.schedule(5.0, lambda i=i: seen.append(i)) for i in range(100)]
+
+        def cancel_everything():
+            seen.append("canceller")
+            for victim in victims:
+                victim.cancel()
+
+        scheduler.schedule(1.0, cancel_everything)
+        scheduler.schedule(9.0, lambda: seen.append("end"))
+        scheduler.run()
+        assert seen == ["canceller", "end"]
+        assert scheduler.is_idle()
+
+    def test_pending_events_constant_time_bookkeeping(self):
+        scheduler = EventScheduler()
+        handles = [scheduler.schedule(1.0, lambda: None) for _ in range(10)]
+        for handle in handles[:4]:
+            handle.cancel()
+        for handle in handles[:4]:
+            handle.cancel()  # idempotent: no double counting
+        assert scheduler.pending_events == 6
+
+    def test_cancel_after_execution_is_a_noop(self):
+        # Cancelling a handle whose callback already ran must not corrupt
+        # the lazy-deletion counter (the entry is no longer in the heap).
+        scheduler = EventScheduler()
+        fired = scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(2.0, lambda: None)
+        scheduler.run(until=1.5)
+        fired.cancel()
+        assert scheduler.pending_events == 1
+        assert not scheduler.is_idle()
+        scheduler.run()
+        assert scheduler.processed_events == 2
+
+
+class TestBatchedDispatchEquivalence:
+    """Batched and unbatched dispatch must produce identical executions."""
+
+    @staticmethod
+    def _workload(scheduler, order):
+        def spawner(tag):
+            order.append(tag)
+            if tag < 3:
+                # Same-timestamp follow-up: joins the current batch.
+                scheduler.schedule(0.0, lambda: spawner(tag + 10))
+                scheduler.schedule(1.0, lambda: spawner(tag + 1))
+
+        for index in range(3):
+            scheduler.schedule(1.0, lambda i=index: spawner(i))
+        handle = scheduler.schedule(1.0, lambda: order.append("cancelled"))
+        handle.cancel()
+        scheduler.schedule(2.5, lambda: order.append("tail"))
+
+    def test_same_order_and_counters(self):
+        runs = {}
+        for batched in (True, False):
+            scheduler = EventScheduler(batch_dispatch=batched)
+            order = []
+            self._workload(scheduler, order)
+            end = scheduler.run()
+            runs[batched] = (order, end, scheduler.processed_events)
+        assert runs[True] == runs[False]
+
+    def test_same_behaviour_with_until_and_max_events(self):
+        for until, max_events in ((1.0, None), (None, 4), (2.0, 6), (0.5, None)):
+            results = {}
+            for batched in (True, False):
+                scheduler = EventScheduler(batch_dispatch=batched)
+                order = []
+                self._workload(scheduler, order)
+                stopped = scheduler.run(until=until, max_events=max_events)
+                results[batched] = (order, stopped, scheduler.processed_events, scheduler.now)
+            assert results[True] == results[False], (until, max_events)
+
+
 class TestRunBounds:
     def test_run_until(self):
         scheduler = EventScheduler()

@@ -1,0 +1,119 @@
+"""Unit tests for canonical trace digests (repro.trace.digest)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.graph import Region
+from repro.sim.events import EventKind, TraceEvent
+from repro.trace import TraceRecorder, canonical_text, combine_digests, trace_digest
+
+
+class TestCanonicalText:
+    def test_primitives(self):
+        assert canonical_text(None) == "None"
+        assert canonical_text(3) == "3"
+        assert canonical_text(2.5) == "2.5"
+        assert canonical_text("x") == "'x'"
+
+    def test_sets_are_sorted(self):
+        assert canonical_text(frozenset({"b", "a"})) == canonical_text({"a", "b"})
+        assert canonical_text({3, 1, 2}) == "{1, 2, 3}"
+
+    def test_mappings_are_sorted_by_key(self):
+        assert canonical_text({"b": 1, "a": 2}) == canonical_text(
+            dict([("a", 2), ("b", 1)])
+        )
+
+    def test_dataclasses_render_in_field_order(self):
+        region = Region(frozenset({(1, 2), (0, 0)}))
+        text = canonical_text(region)
+        assert text.startswith("Region(members=")
+        assert canonical_text(Region(frozenset({(0, 0), (1, 2)}))) == text
+
+    def test_enum(self):
+        assert canonical_text(EventKind.DECIDED) == "EventKind.DECIDED"
+
+    def test_nested_event(self):
+        event = TraceEvent(
+            time=1.0,
+            kind=EventKind.MESSAGE_SENT,
+            node="a",
+            peer="b",
+            payload=frozenset({"y", "x"}),
+            detail={"k": {"z", "a"}},
+        )
+        assert canonical_text(event) == canonical_text(
+            TraceEvent(
+                time=1.0,
+                kind=EventKind.MESSAGE_SENT,
+                node="a",
+                peer="b",
+                payload=frozenset({"x", "y"}),
+                detail={"k": {"a", "z"}},
+            )
+        )
+
+
+class TestTraceDigest:
+    def test_digest_changes_with_content(self):
+        recorder = TraceRecorder()
+        recorder.emit(0.0, EventKind.NODE_STARTED, node="a")
+        first = recorder.digest()
+        recorder.emit(1.0, EventKind.NODE_CRASHED, node="a")
+        assert recorder.digest() != first
+
+    def test_kind_filter(self):
+        recorder = TraceRecorder()
+        recorder.emit(0.0, EventKind.NODE_STARTED, node="a")
+        recorder.emit(1.0, EventKind.DECIDED, node="a", payload="v")
+        other = TraceRecorder()
+        other.emit(0.5, EventKind.NODE_STARTED, node="b")
+        other.emit(1.0, EventKind.DECIDED, node="a", payload="v")
+        assert recorder.digest() != other.digest()
+        assert recorder.digest(EventKind.DECIDED) == other.digest(EventKind.DECIDED)
+
+    def test_trace_digest_matches_recorder_digest(self):
+        recorder = TraceRecorder()
+        recorder.emit(0.0, EventKind.NODE_STARTED, node="a")
+        assert trace_digest(recorder.events) == recorder.digest()
+
+    def test_combine_digests_is_order_sensitive(self):
+        assert combine_digests(["a", "b"]) != combine_digests(["b", "a"])
+        assert combine_digests([]) == combine_digests([])
+
+
+_CHILD_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.experiments import run_cliff_edge
+from repro.failures import region_crash
+from repro.graph.generators import grid
+graph = grid(5, 5)
+schedule = region_crash(graph, [(1, 1), (1, 2)], at=1.0)
+print(run_cliff_edge(graph, schedule, seed=3).digest())
+"""
+
+
+class TestHashSeedIndependence:
+    def test_digest_survives_different_hash_seeds(self):
+        """The whole point: digests must compare across interpreters.
+
+        ``frozenset``/``dict`` iteration order varies with
+        PYTHONHASHSEED, which differs between independently *spawned*
+        workers; a repr-based digest would diverge.
+        """
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        digests = set()
+        for hash_seed in ("1", "2"):
+            result = subprocess.run(
+                [sys.executable, "-c", _CHILD_SCRIPT.format(src=src)],
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+                check=True,
+            )
+            digests.add(result.stdout.strip())
+        assert len(digests) == 1
