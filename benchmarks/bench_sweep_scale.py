@@ -6,6 +6,12 @@ Times the large-torus scenario family (``torus_scale_tasks``) through
 determinism contract), and writes the measurements to ``BENCH_sweep.json``
 so the perf trajectory is tracked across PRs.
 
+Also measures the spec-keyed topology build cache
+(:mod:`repro.api.cache`): cold build time of the family's torus vs the
+warm (cached) fetch — graph construction dominates 4096-node smoke runs,
+and the torus-block family now shares one build per worker instead of
+rebuilding per scenario.
+
 Default configuration is the ROADMAP's 1024-node point (a 32x32 torus,
 8 scenarios); ``--side 64`` is the 4096-node point.  ``--smoke`` runs a
 tiny configuration suitable for CI.
@@ -27,7 +33,46 @@ from time import perf_counter
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.api import (  # noqa: E402
+    TopologySpec,
+    build_topology,
+    clear_topology_cache,
+    topology_cache_info,
+)
 from repro.scale import ShardedSweepRunner, torus_scale_tasks  # noqa: E402
+
+
+def bench_topology_cache(side: int, scenarios: int) -> dict:
+    """Cold vs warm build time of the family's ``side×side`` torus.
+
+    ``warm_total_s`` is what the cache saves per worker and per sweep:
+    without it, every one of the ``scenarios`` tasks on a worker would
+    pay the cold build.
+    """
+    spec = TopologySpec("torus", {"width": side, "height": side})
+    clear_topology_cache()
+    started = perf_counter()
+    build_topology(spec)
+    cold = perf_counter() - started
+    started = perf_counter()
+    for _ in range(scenarios):
+        build_topology(spec)
+    warm_total = perf_counter() - started
+    info = topology_cache_info()
+    clear_topology_cache()
+    return {
+        "side": side,
+        "nodes": side * side,
+        "cold_build_s": round(cold, 6),
+        "warm_fetch_s": round(warm_total / scenarios, 6),
+        "warm_total_s": round(warm_total, 6),
+        "builds_saved_per_worker": scenarios - 1,
+        "speedup": round(cold / (warm_total / scenarios), 1)
+        if warm_total > 0
+        else float("inf"),
+        "hits": info.hits,
+        "misses": info.misses,
+    }
 
 
 def run_benchmark(
@@ -81,6 +126,7 @@ def run_benchmark(
         "runs": runs,
         "speedup": round(speedup, 3),
         "digest_equal": True,
+        "topology_cache": bench_topology_cache(side, scenarios),
     }
 
 
@@ -115,6 +161,12 @@ def main(argv: list[str] | None = None) -> int:
             f"workers={run['workers']}: wall={run['wall_time_s']}s "
             f"worker_time={run['worker_time_s']}s digest={run['digest'][:12]}"
         )
+    cache = result["topology_cache"]
+    print(
+        f"topology cache ({cache['nodes']} nodes): cold={cache['cold_build_s']}s "
+        f"warm={cache['warm_fetch_s']}s ({cache['speedup']}x, "
+        f"{cache['builds_saved_per_worker']} builds saved per worker)"
+    )
     print(
         f"speedup (workers={workers} vs 1): {result['speedup']}x  "
         f"digest-equal: {result['digest_equal']}  -> {args.output}"

@@ -18,6 +18,18 @@ True
 1
 """
 
+from .api import (
+    ExperimentSession,
+    ExperimentSpec,
+    FailureSpec,
+    MembershipSpec,
+    Result,
+    RuntimeSpec,
+    SweepSpec,
+    TopologySpec,
+    load_spec,
+    run_spec,
+)
 from .churn import (
     ChurnRunResult,
     MembershipEvent,
@@ -116,4 +128,15 @@ __all__ = [
     "run_cliff_edge",
     "build_simulator",
     "RunResult",
+    # Declarative experiment API
+    "ExperimentSpec",
+    "TopologySpec",
+    "FailureSpec",
+    "MembershipSpec",
+    "RuntimeSpec",
+    "SweepSpec",
+    "ExperimentSession",
+    "Result",
+    "run_spec",
+    "load_spec",
 ]

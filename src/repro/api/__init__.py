@@ -1,0 +1,102 @@
+"""The declarative experiment API — the repo's single front door.
+
+``repro.api`` turns every run in the repository into *data*:
+
+* :mod:`repro.api.specs` — frozen, JSON-round-trippable spec dataclasses
+  (:class:`TopologySpec`, :class:`FailureSpec`, :class:`MembershipSpec`,
+  :class:`RuntimeSpec`, :class:`ExperimentSpec`, :class:`SweepSpec`) with
+  canonical digests;
+* :mod:`repro.api.cache` — the spec-keyed topology build cache;
+* :mod:`repro.api.result` — the unified :class:`Result` protocol that
+  ``RunResult``, ``ChurnRunResult`` and ``SweepReport`` all implement,
+  plus the shared decision-bookkeeping mixin;
+* :mod:`repro.api.session` — :class:`ExperimentSession`, which resolves a
+  spec to the right runtime/runner and executes it;
+* :mod:`repro.api.presets` — the classic CLI entry points expressed as
+  specs (what ``--emit-spec`` prints).
+
+Quick start::
+
+    from repro.api import ExperimentSpec, TopologySpec, FailureSpec, run_spec
+
+    spec = ExperimentSpec(
+        topology=TopologySpec("grid", {"width": 6, "height": 6}),
+        failure=FailureSpec("region", {"members": [[2, 2], [2, 3], [3, 2], [3, 3]]}),
+    )
+    result = run_spec(spec)
+    assert result.specification.holds
+    print(result.summary())
+
+The same spec serializes with ``spec.to_json()`` and runs from the shell
+with ``python -m repro run SPEC.json``.
+"""
+
+from .cache import (
+    TopologyCacheInfo,
+    build_topology,
+    clear_topology_cache,
+    set_topology_cache_size,
+    topology_cache_info,
+)
+from .presets import (
+    churn_scenario_description,
+    churn_scenario_spec,
+    figure_spec,
+    property_sweep_spec,
+    quickstart_spec,
+    torus_sweep_spec,
+)
+from .result import AggregateSpecification, DecisionResultMixin, Result, json_safe
+from .session import ExperimentSession, run_spec, run_spec_json
+from .specs import (
+    SPEC_VERSION,
+    TOPOLOGY_KINDS,
+    ExperimentSpec,
+    FailureSpec,
+    MembershipSpec,
+    RuntimeSpec,
+    SpecError,
+    SweepSpec,
+    TopologySpec,
+    iter_specs,
+    load_spec,
+    spec_digest,
+)
+
+__all__ = [
+    # Specs
+    "SPEC_VERSION",
+    "TOPOLOGY_KINDS",
+    "TopologySpec",
+    "FailureSpec",
+    "MembershipSpec",
+    "RuntimeSpec",
+    "ExperimentSpec",
+    "SweepSpec",
+    "SpecError",
+    "spec_digest",
+    "load_spec",
+    "iter_specs",
+    # Session
+    "ExperimentSession",
+    "run_spec",
+    "run_spec_json",
+    # Results
+    "Result",
+    "DecisionResultMixin",
+    "AggregateSpecification",
+    "json_safe",
+    # Topology cache
+    "build_topology",
+    "topology_cache_info",
+    "clear_topology_cache",
+    "set_topology_cache_size",
+    "TopologyCacheInfo",
+    # Presets
+    "quickstart_spec",
+    "figure_spec",
+    "churn_scenario_spec",
+    "churn_scenario_description",
+    "property_sweep_spec",
+    "torus_sweep_spec",
+]

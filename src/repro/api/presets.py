@@ -1,0 +1,230 @@
+"""Spec builders for the CLI's classic entry points.
+
+Every positional CLI form maps onto a declarative spec here, which is
+what ``--emit-spec`` prints and what the commands themselves execute
+through :class:`~repro.api.session.ExperimentSession` — the old flags are
+thin shims over the spec layer.
+"""
+
+from __future__ import annotations
+
+from .specs import (
+    ExperimentSpec,
+    FailureSpec,
+    MembershipSpec,
+    RuntimeSpec,
+    SpecError,
+    SweepSpec,
+    TopologySpec,
+)
+
+
+def quickstart_spec(side: int = 6, block: int = 2, seed: int = 0) -> ExperimentSpec:
+    """The ``repro quickstart`` run: a block crash in a ``side×side`` grid."""
+    from ..graph.generators import square_region
+
+    members = sorted(square_region((1, 1), block))
+    return ExperimentSpec(
+        name="quickstart",
+        topology=TopologySpec("grid", {"width": side, "height": side}),
+        failure=FailureSpec("region", {"members": members, "at": 1.0}),
+        seed=seed,
+        check=True,
+        labels={"side": side, "block": block},
+    )
+
+
+def figure_spec(which: str, seed: int = 0) -> ExperimentSpec:
+    """The run behind ``repro figure {1a,1b,2,3}`` as a spec.
+
+    The figure commands derive extra observations from the trace (who
+    proposed what, which domains decided); the spec reproduces the *run*
+    itself — same topology, schedule, detector timing and seed, hence the
+    same canonical digest.
+    """
+    from ..experiments.scenarios import (
+        fig1a_scenario,
+        fig1b_scenario,
+        fig2_scenario,
+        fig3_scenario,
+    )
+
+    builders = {
+        "1a": ("fig1", fig1a_scenario),
+        "1b": ("fig1", fig1b_scenario),
+        "2": ("fig2", fig2_scenario),
+        "3": ("fig3", fig3_scenario),
+    }
+    try:
+        topology_kind, builder = builders[which]
+    except KeyError:
+        raise SpecError(
+            f"unknown figure {which!r}; known: {', '.join(sorted(builders))}"
+        ) from None
+    scenario = builder()
+    failure = FailureSpec(
+        "explicit",
+        {"crashes": [[node, time] for node, time in scenario.schedule.crashes]},
+    )
+    runtime = RuntimeSpec()
+    if scenario.failure_detector is not None:
+        detector = scenario.failure_detector
+        runtime = RuntimeSpec(
+            failure_detector={
+                "kind": "scripted",
+                "default_delay": detector.default_delay,
+                "delays": [
+                    [subscriber, crashed, delay]
+                    for (subscriber, crashed), delay in sorted(
+                        detector.delays.items(), key=repr
+                    )
+                ],
+            }
+        )
+    return ExperimentSpec(
+        name=scenario.name,
+        topology=TopologySpec(topology_kind),
+        failure=failure,
+        runtime=runtime,
+        seed=seed,
+        check=True,
+        labels=dict(scenario.labels),
+    )
+
+
+#: The crashed block shared by the race and flash-crowd churn scenarios.
+_CHURN_BLOCK = ((1, 1), (1, 2), (2, 1), (2, 2))
+
+
+def churn_scenario_spec(
+    scenario: str,
+    nodes: int = 64,
+    churn_rate: float = 0.05,
+    duration: float = 100.0,
+    seed: int = 0,
+    runtime: str = "sim",
+) -> ExperimentSpec:
+    """The run behind ``repro churn --scenario {steady,race,flash}``.
+
+    Mirrors the scenario builders in
+    :mod:`repro.experiments.scenarios` exactly — the spec-driven run is
+    digest-identical to ``churn_*_scenario(...).run(...)``.
+    """
+    from ..experiments.scenarios import torus_side_for
+
+    side = torus_side_for(nodes)
+    topology = TopologySpec("torus", {"width": side, "height": side})
+    engine = RuntimeSpec(engine=runtime)
+    if scenario == "steady":
+        churn_params = {
+            "churn_rate": churn_rate,
+            "duration": duration,
+            "downtime": 15.0,
+        }
+        return ExperimentSpec(
+            name="churn-steady",
+            topology=topology,
+            failure=FailureSpec("steady_churn", churn_params),
+            membership=MembershipSpec("steady_churn", churn_params),
+            runtime=engine,
+            seed=seed,
+            labels={"churn_rate": churn_rate, "nodes": side * side, "seed": seed},
+        )
+    if scenario == "race":
+        race_params = {
+            "members": _CHURN_BLOCK,
+            "crash_at": 1.0,
+            "recover_at": 6.0,
+            "recrash_at": 60.0,
+        }
+        return ExperimentSpec(
+            name="churn-race",
+            topology=topology,
+            failure=FailureSpec("race", race_params),
+            membership=MembershipSpec("race", race_params),
+            runtime=engine,
+            seed=seed,
+            labels={"recover_at": 6.0, "recrash_at": 60.0, "seed": seed},
+        )
+    if scenario == "flash":
+        return ExperimentSpec(
+            name="churn-flash-crowd",
+            topology=topology,
+            failure=FailureSpec("region", {"members": _CHURN_BLOCK, "at": 1.0}),
+            membership=MembershipSpec(
+                "flash_crowd", {"count": 8, "at": 3.0, "spacing": 1.0}
+            ),
+            runtime=engine,
+            seed=seed,
+            labels={"crowd": 8, "seed": seed},
+        )
+    raise SpecError(f"unknown churn scenario {scenario!r}; known: steady, race, flash")
+
+
+def churn_scenario_description(scenario: str) -> str:
+    """The one-line description the churn CLI prints for each scenario."""
+    descriptions = {
+        "steady": "independent crash-recover cycles keep agreement in flight",
+        "race": (
+            "a crashed block recovers while the border is still agreeing on "
+            "it, then crashes again; both epochs must decide identically"
+        ),
+        "flash": "locality-attached joins arrive while the border agrees on a block",
+    }
+    try:
+        return descriptions[scenario]
+    except KeyError:
+        raise SpecError(f"unknown churn scenario {scenario!r}") from None
+
+
+def property_sweep_spec(
+    cases: int = 10, workers: int = 1, churn: bool = False, base_seed: int = 0
+) -> SweepSpec:
+    """The ``repro sweep`` command as a family-mode sweep spec."""
+    family = "churn-property" if churn else "property"
+    return SweepSpec(
+        name=f"exp-c1-{family}",
+        family=family,
+        seeds=tuple(range(cases)),
+        workers=workers,
+        base_seed=base_seed,
+    )
+
+
+def torus_sweep_spec(
+    side: int = 32,
+    scenarios: int = 8,
+    block_side: int = 2,
+    workers: int = 1,
+    check: bool = True,
+) -> SweepSpec:
+    """The large-torus scale family as an experiment-mode sweep spec.
+
+    Block placement comes from the same
+    :func:`~repro.experiments.scenarios.torus_block_origins` /
+    :func:`~repro.experiments.scenarios.torus_block_members` helpers as
+    :func:`repro.experiments.scenarios.torus_scale_family` — pure
+    arithmetic, no graphs are built at spec-construction time.  The grid
+    axis varies the crashed block's member set, so every point shares one
+    :class:`TopologySpec` — and therefore one cached topology build per
+    worker.
+    """
+    from ..experiments.scenarios import torus_block_members, torus_block_origins
+
+    member_sets = []
+    for origin in torus_block_origins(side, scenarios, block_side):
+        members = sorted(torus_block_members(side, block_side, origin))
+        member_sets.append([list(node) for node in members])
+    template = ExperimentSpec(
+        name=f"torus{side}x{side}-block{block_side}",
+        topology=TopologySpec("torus", {"width": side, "height": side}),
+        failure=FailureSpec("region", {"members": member_sets[0], "at": 1.0}),
+        check=check,
+        labels={"side": side, "nodes": side * side, "block_side": block_side},
+    )
+    return SweepSpec(
+        name=f"torus-scale-{side}",
+        experiment=template,
+        grid={"failure.params.members": member_sets},
+        workers=workers,
+    )

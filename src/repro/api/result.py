@@ -1,0 +1,167 @@
+"""The unified result surface of every run layer.
+
+:class:`Result` is the protocol every run-shaped outcome implements —
+:class:`~repro.experiments.runner.RunResult` (static runs),
+:class:`~repro.churn.runner.ChurnRunResult` (churn runs) and
+:class:`~repro.scale.sweep.SweepReport` (sharded sweeps) all share
+``digest()``, ``check_specification()``, ``summary()`` and ``as_dict()``,
+so callers (the CLI's ``--json`` output, CI scripts, the session facade)
+can treat any of them uniformly.
+
+:class:`DecisionResultMixin` is the single home of the decision-derived
+helpers (``decided_views`` / ``deciding_nodes`` / ``decisions_on`` /
+trace ``digest``) that used to be duplicated between ``RunResult`` and
+``ChurnRunResult``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.properties import Decision
+    from ..graph import NodeId, Region
+
+
+# ---------------------------------------------------------------------------
+# JSON encoding
+# ---------------------------------------------------------------------------
+def json_safe(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-serializable primitives.
+
+    Tuples, sets and frozensets become (sorted, for sets) lists, mappings
+    become string-keyed dicts, enums their names, dataclasses dicts of
+    their fields, and region-like objects lists of their members.  Node
+    ids that are tuples (grid coordinates) become lists — the spec layer
+    converts them back on the way in.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, Mapping):
+        return {str(key): json_safe(value[key]) for key in sorted(value, key=str)}
+    if isinstance(value, (set, frozenset)):
+        return sorted((json_safe(item) for item in value), key=repr)
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    members = getattr(value, "members", None)
+    if members is not None and isinstance(members, frozenset):
+        return sorted((json_safe(item) for item in members), key=repr)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: json_safe(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    return repr(value)
+
+
+# ---------------------------------------------------------------------------
+# The protocol
+# ---------------------------------------------------------------------------
+@runtime_checkable
+class Result(Protocol):
+    """What every run layer's outcome can do."""
+
+    def digest(self) -> str:
+        """Canonical deterministic fingerprint of the outcome."""
+        ...
+
+    def check_specification(self) -> Any:
+        """(Re)check the relevant specification and return its report."""
+        ...
+
+    def summary(self) -> Any:
+        """Human-oriented summary (text for runs, a dict for sweeps)."""
+        ...
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable dict of the outcome (machine consumers)."""
+        ...
+
+
+# ---------------------------------------------------------------------------
+# Shared decision-derived helpers
+# ---------------------------------------------------------------------------
+class DecisionResultMixin:
+    """Decision bookkeeping shared by ``RunResult`` and ``ChurnRunResult``.
+
+    Expects the concrete class to provide ``decisions`` (a list of
+    :class:`~repro.core.properties.Decision`) and ``trace`` (a
+    :class:`~repro.trace.TraceRecorder`).
+    """
+
+    decisions: list  # provided by the concrete dataclass
+    trace: Any
+
+    @property
+    def decided_views(self) -> "frozenset[Region]":
+        """The distinct views decided during the run."""
+        return frozenset(decision.view for decision in self.decisions)
+
+    @property
+    def deciding_nodes(self) -> "frozenset[NodeId]":
+        """The nodes that decided during the run."""
+        return frozenset(decision.node for decision in self.decisions)
+
+    def decisions_on(self, view: "Region") -> "list[Decision]":
+        """All decisions whose view equals ``view``."""
+        return [decision for decision in self.decisions if decision.view == view]
+
+    def digest(self) -> str:
+        """Canonical trace digest — the run's deterministic fingerprint.
+
+        Two runs with identical (topology, schedule, seed, knobs) produce
+        the same digest regardless of which process executed them; the
+        sharded sweep engine (:mod:`repro.scale`) compares these.
+        """
+        return self.trace.digest()
+
+    # -- shared as_dict building blocks ---------------------------------
+    def _decisions_as_dicts(self) -> list[dict[str, Any]]:
+        return [
+            {
+                "time": decision.time,
+                "node": json_safe(decision.node),
+                "view": json_safe(decision.view),
+            }
+            for decision in self.decisions
+        ]
+
+    def _specification_as_dict(self) -> Any:
+        specification = getattr(self, "specification", None)
+        if specification is None:
+            return None
+        return {
+            "holds": specification.holds,
+            "violations": list(specification.violations()),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Aggregate specification verdict (sweeps)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AggregateSpecification:
+    """The sweep-level specification verdict.
+
+    Per-run CD1–CD7 checks happen inside the workers; this is their
+    conjunction, with each surviving violation prefixed by the index of
+    the run it came from.
+    """
+
+    holds: bool
+    checked_runs: int
+    violation_list: tuple[str, ...] = ()
+
+    def violations(self) -> list[str]:
+        return list(self.violation_list)
+
+    def summary(self) -> str:
+        status = "holds" if self.holds else "VIOLATED"
+        lines = [f"specification across {self.checked_runs} runs: {status}"]
+        lines.extend(f"    {violation}" for violation in self.violation_list)
+        return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""The experiment session: from spec to executed run.
+
+:class:`ExperimentSession` is the single funnel through which every run
+in the repository can be driven.  It resolves a declarative
+:class:`~repro.api.specs.ExperimentSpec` to the right runtime and runner
+(static simulator run, churn simulator run, or asyncio run), builds the
+topology through the spec-keyed cache, and returns the familiar result
+objects — all of which implement the unified
+:class:`~repro.api.result.Result` protocol.
+
+Sweeps go the same way: :meth:`ExperimentSession.run_sweep` turns a
+:class:`~repro.api.specs.SweepSpec` into picklable-by-spec tasks for the
+sharded sweep engine (:mod:`repro.scale`) and merges the outcomes into a
+:class:`~repro.scale.SweepReport`.
+
+Imports of the runner modules happen lazily: the runners themselves
+import :mod:`repro.api.result` for the shared mixin, and the session must
+stay importable from both directions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Union
+
+from .specs import ExperimentSpec, RuntimeSpec, SpecError, SweepSpec, load_spec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..churn.runner import ChurnRunResult
+    from ..experiments.runner import RunResult
+    from ..scale.sweep import SweepReport
+
+RunOutcome = Union["RunResult", "ChurnRunResult"]
+
+
+class ExperimentSession:
+    """Resolve and execute declarative experiment specs.
+
+    Parameters
+    ----------
+    use_cache:
+        When True (the default) topology builds go through the
+        process-local spec-keyed cache (:mod:`repro.api.cache`).
+    """
+
+    def __init__(self, use_cache: bool = True) -> None:
+        self.use_cache = use_cache
+
+    # ------------------------------------------------------------------
+    def build_graph(self, spec: ExperimentSpec):
+        """Build (or fetch from cache) the spec's topology."""
+        if self.use_cache:
+            return spec.topology.build()
+        return spec.topology.build_uncached()
+
+    def resolve(self, spec: ExperimentSpec):
+        """Materialise ``(graph, crash schedule, membership schedule)``."""
+        from .specs import COUPLED_KINDS, _resolve_coupled
+
+        graph = self.build_graph(spec)
+        if spec.failure.kind in COUPLED_KINDS or spec.membership.kind in COUPLED_KINDS:
+            # Coupled kinds describe ONE scenario whose crash and
+            # membership halves derive from the same builder call; a
+            # lone half, or halves with divergent params (e.g. a grid
+            # override touching only one side), would silently build an
+            # inconsistent scenario.
+            if spec.failure.kind != spec.membership.kind:
+                raise SpecError(
+                    f"coupled churn kinds must pair up: failure kind is "
+                    f"{spec.failure.kind!r} but membership kind is "
+                    f"{spec.membership.kind!r}"
+                )
+            if spec.failure.params != spec.membership.params:
+                raise SpecError(
+                    f"coupled churn kind {spec.failure.kind!r} needs identical "
+                    f"failure and membership params; got {dict(spec.failure.params)!r} "
+                    f"vs {dict(spec.membership.params)!r} (grid overrides must "
+                    f"target both halves)"
+                )
+            schedule, membership = _resolve_coupled(
+                spec.failure.kind, dict(spec.failure.params), graph, spec.seed
+            )
+            return graph, schedule, membership
+        schedule = spec.failure.resolve(graph, spec.seed)
+        membership = spec.membership.resolve(graph, schedule, spec.seed)
+        return graph, schedule, membership
+
+    # ------------------------------------------------------------------
+    def run(self, spec: ExperimentSpec) -> RunOutcome:
+        """Execute one experiment spec on its requested runtime.
+
+        Returns a :class:`~repro.experiments.runner.RunResult` for static
+        simulator runs and a :class:`~repro.churn.runner.ChurnRunResult`
+        for churn or asyncio runs — both satisfy the unified
+        :class:`~repro.api.Result` protocol.
+        """
+        graph, schedule, membership = self.resolve(spec)
+        runtime = spec.runtime
+        if runtime.engine == "asyncio":
+            unsupported = []
+            if not spec.arbitration:
+                unsupported.append("arbitration=False")
+            if spec.early_termination:
+                unsupported.append("early_termination=True")
+            if not runtime.batched:
+                unsupported.append("batched=False")
+            if runtime.latency is not None:
+                unsupported.append("latency")
+            if runtime.failure_detector is not None:
+                unsupported.append("failure_detector")
+            if runtime.until is not None:
+                unsupported.append("until")
+            if runtime.max_events != RuntimeSpec().max_events:
+                unsupported.append("max_events")
+            if unsupported:
+                raise SpecError(
+                    "the asyncio runtime does not support these spec knobs: "
+                    + ", ".join(unsupported)
+                    + " (it is wall-clock driven; use engine='sim')"
+                )
+            from ..churn.runner import run_churn_asyncio
+
+            result: RunOutcome = run_churn_asyncio(
+                graph,
+                schedule,
+                membership,
+                detection_delay=runtime.detection_delay,
+                time_scale=runtime.time_scale,
+                timeout=runtime.timeout,
+                seed=spec.seed,
+                check=spec.check,
+            )
+        elif spec.membership.is_static:
+            from ..experiments.runner import run_cliff_edge
+
+            result = run_cliff_edge(
+                graph,
+                schedule,
+                latency=runtime.resolve_latency(),
+                failure_detector=runtime.resolve_failure_detector(),
+                seed=spec.seed,
+                arbitration_enabled=spec.arbitration,
+                early_termination=spec.early_termination,
+                check=spec.check,
+                max_events=runtime.max_events,
+                until=runtime.until,
+                batch_dispatch=runtime.batched,
+            )
+        else:
+            if not spec.arbitration or spec.early_termination:
+                raise SpecError(
+                    "the churn runner has no arbitration/early-termination "
+                    "ablation knobs; use a static membership spec"
+                )
+            from ..churn.runner import run_churn
+
+            result = run_churn(
+                graph,
+                schedule,
+                membership,
+                latency=runtime.resolve_latency(),
+                failure_detector=runtime.resolve_failure_detector(),
+                seed=spec.seed,
+                check=spec.check,
+                max_events=runtime.max_events,
+                until=runtime.until,
+                batch_dispatch=runtime.batched,
+            )
+        result.labels.update(dict(spec.labels))
+        if spec.name:
+            result.labels.setdefault("scenario", spec.name)
+        result.labels["spec_digest"] = spec.digest()
+        return result
+
+    # ------------------------------------------------------------------
+    def run_sweep(self, spec: SweepSpec) -> "SweepReport":
+        """Execute a sweep spec through the sharded sweep engine.
+
+        Experiment-mode sweeps ship their points as serialized specs
+        (picklable-by-spec); family-mode sweeps reference a registered
+        scenario family by name.  Either way, per-run digests and the
+        merged report digest are identical for every ``workers`` count.
+        """
+        from ..scale import ShardedSweepRunner
+
+        runner = ShardedSweepRunner(workers=spec.workers, base_seed=spec.base_seed)
+        report = runner.run(spec.tasks())
+        report.labels["spec_digest"] = spec.digest()
+        if spec.name:
+            report.labels["sweep"] = spec.name
+        return report
+
+    # ------------------------------------------------------------------
+    def run_document(self, text: str) -> Any:
+        """Parse a JSON spec document and execute it (either kind)."""
+        spec = load_spec(text)
+        if isinstance(spec, SweepSpec):
+            return self.run_sweep(spec)
+        return self.run(spec)
+
+
+# ---------------------------------------------------------------------------
+# Module-level conveniences
+# ---------------------------------------------------------------------------
+def run_spec(spec: Union[ExperimentSpec, SweepSpec]) -> Any:
+    """Run a spec through a default session."""
+    session = ExperimentSession()
+    if isinstance(spec, SweepSpec):
+        return session.run_sweep(spec)
+    return session.run(spec)
+
+
+def run_spec_json(text: str) -> Any:
+    """Run a JSON spec document through a default session."""
+    return ExperimentSession().run_document(text)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from ..api.result import DecisionResultMixin, json_safe
 from ..core import CliffEdgeNode, DEFAULT_DECISION_POLICY, DecisionPolicy
 from ..core.properties import Decision, SpecificationReport, extract_decisions
 from ..failures import CrashSchedule
@@ -20,6 +21,7 @@ from ..graph import DEFAULT_RANKING, KnowledgeGraph, NodeId, Region, RegionRanki
 from ..runtime import run_cliff_edge_asyncio
 from ..sim import (
     ConstantLatency,
+    EventScheduler,
     FailureDetectorPolicy,
     LatencyModel,
     PerfectFailureDetector,
@@ -33,8 +35,14 @@ from .properties import check_churn_all
 
 
 @dataclass
-class ChurnRunResult:
-    """Outcome of one churned protocol run (either runtime)."""
+class ChurnRunResult(DecisionResultMixin):
+    """Outcome of one churned protocol run (either runtime).
+
+    Implements the unified :class:`repro.api.Result` protocol; the
+    decision-derived helpers (``decided_views``, ``deciding_nodes``,
+    ``decisions_on``, ``digest``) live in the shared
+    :class:`~repro.api.result.DecisionResultMixin`.
+    """
 
     #: The topology before any membership event.
     base_graph: KnowledgeGraph
@@ -61,14 +69,6 @@ class ChurnRunResult:
         return self.final_graph
 
     @property
-    def decided_views(self) -> frozenset[Region]:
-        return frozenset(decision.view for decision in self.decisions)
-
-    @property
-    def deciding_nodes(self) -> frozenset[NodeId]:
-        return frozenset(decision.node for decision in self.decisions)
-
-    @property
     def decided_view_multiset(self) -> tuple[tuple[NodeId, ...], ...]:
         """Every decision's view (sorted members), in decision order.
 
@@ -81,9 +81,6 @@ class ChurnRunResult:
             for decision in self.decisions
         )
 
-    def decisions_on(self, view: Region) -> list[Decision]:
-        return [decision for decision in self.decisions if decision.view == view]
-
     def check_specification(self, include_liveness: bool = True) -> SpecificationReport:
         """Run the epoch-quotiented CD1–CD7 checkers and cache the report."""
         self.specification = check_churn_all(
@@ -94,9 +91,28 @@ class ChurnRunResult:
         )
         return self.specification
 
-    def digest(self) -> str:
-        """Canonical trace digest (see :meth:`TraceRecorder.digest`)."""
-        return self.trace.digest()
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable summary of the run (the ``--json`` payload)."""
+        return {
+            "type": "churn-run",
+            "runtime": self.runtime,
+            "nodes": len(self.base_graph),
+            "final_nodes": len(self.final_graph),
+            "edges": self.base_graph.edge_count,
+            "final_edges": self.final_graph.edge_count,
+            "crashes": len(self.schedule),
+            "joins": len(self.membership.of_kind(MembershipEventKind.JOIN)),
+            "recoveries": len(self.membership.of_kind(MembershipEventKind.RECOVER)),
+            "leaves": len(self.membership.of_kind(MembershipEventKind.LEAVE)),
+            "epochs": len(self.epochs),
+            "quiescent": self.quiescent,
+            "metrics": json_safe(self.metrics),
+            "decisions": self._decisions_as_dicts(),
+            "decided_views": json_safe(self.decided_views),
+            "specification": self._specification_as_dict(),
+            "digest": self.digest(),
+            "labels": json_safe(self.labels),
+        }
 
     def summary(self) -> str:
         """Multi-line human-readable summary (used by the CLI/examples)."""
@@ -140,6 +156,7 @@ def run_churn(
     check: bool = False,
     max_events: int = 5_000_000,
     until: Optional[float] = None,
+    batch_dispatch: bool = True,
 ) -> ChurnRunResult:
     """Run a churn scenario on the deterministic simulator."""
     membership.validate(graph, schedule)
@@ -152,6 +169,7 @@ def run_churn(
             else PerfectFailureDetector(1.0)
         ),
         seed=seed,
+        scheduler=EventScheduler(batch_dispatch=batch_dispatch),
     )
 
     def default_factory(node_id: NodeId) -> CliffEdgeNode:

@@ -9,7 +9,15 @@ most useful entry points of the library without writing any Python:
 * ``locality`` — the EXP-L1/EXP-L2 sweeps as plain-text tables;
 * ``repair`` — the end-to-end overlay repair demo;
 * ``sweep`` — the EXP-C1 adversarial property sweep;
+* ``churn`` — dynamic-membership scenarios on either runtime;
+* ``run`` — execute a declarative spec document (``SPEC.json`` or ``-``
+  for stdin);
 * ``report`` — every experiment table (the EXPERIMENTS.md source).
+
+The single-run and sweep commands are thin shims over the declarative
+spec layer (:mod:`repro.api`): ``--emit-spec`` prints the JSON spec that
+reproduces the command (pipe it into ``repro run -``), and ``--json``
+prints the machine-readable result instead of text tables.
 
 Every command prints deterministic output for a given ``--seed``.
 """
@@ -17,39 +25,67 @@ Every command prints deterministic output for a given ``--seed``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 from typing import Callable
 
+from .api import (
+    ExperimentSession,
+    SweepSpec,
+    churn_scenario_description,
+    churn_scenario_spec,
+    figure_spec,
+    load_spec,
+    property_sweep_spec,
+    quickstart_spec,
+)
 from .experiments import (
-    churn_flash_crowd_scenario,
-    churn_property_sweep,
-    churn_recovery_race_scenario,
-    churn_steady_scenario,
     fig1a_scenario,
     format_table,
     locality_is_flat,
-    property_sweep,
     region_size_sweep,
     render_report,
     run_fig1b,
     run_fig2,
     run_fig3,
     run_overlay_repair,
-    sweep_summary,
     system_size_sweep,
 )
 from .experiments.report import build_report
-from .failures import region_crash
-from .graph.generators import grid, square_region
-from .experiments.runner import run_cliff_edge
+
+
+def _write_json(write: Callable[[str], object], payload: dict) -> None:
+    write(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _write_sweep_report(
+    report, spec: SweepSpec, as_json: bool, write: Callable[[str], object]
+) -> int:
+    """Shared rendering + exit code for spec-driven sweep reports."""
+    if as_json:
+        _write_json(write, report.as_dict())
+        return 0 if report.all_hold else 1
+    write(format_table(report.as_rows(), title=f"sweep {spec.name or spec.digest()[:12]}"))
+    write(
+        f"runs: {len(report)}  workers: {report.workers}  "
+        f"all hold: {report.all_hold}  digest: {report.digest()[:12]}"
+    )
+    return 0 if report.all_hold else 1
 
 
 def _cmd_quickstart(args: argparse.Namespace, write: Callable[[str], object]) -> int:
-    graph = grid(args.side, args.side)
-    block = sorted(square_region((1, 1), args.block))
-    schedule = region_crash(graph, block, at=1.0)
-    result = run_cliff_edge(graph, schedule, seed=args.seed, check=True)
+    spec = quickstart_spec(side=args.side, block=args.block, seed=args.seed)
+    if args.emit_spec:
+        write(spec.to_json())
+        return 0
+    result = ExperimentSession().run(spec)
+    if args.json:
+        _write_json(write, result.as_dict())
+        return 0 if result.specification.holds else 1
+    # Print the block the spec actually crashes, not a recomputation.
+    block = sorted(tuple(member) for member in spec.failure.params["members"])
     write(f"crashed block: {block}")
     write(result.summary())
     write(result.specification.summary())
@@ -57,6 +93,9 @@ def _cmd_quickstart(args: argparse.Namespace, write: Callable[[str], object]) ->
 
 
 def _cmd_figure(args: argparse.Namespace, write: Callable[[str], object]) -> int:
+    if args.emit_spec:
+        write(figure_spec(args.which, seed=args.seed).to_json())
+        return 0
     if args.which == "1a":
         result = fig1a_scenario().run(seed=args.seed)
         write(result.summary())
@@ -117,21 +156,68 @@ def _cmd_repair(args: argparse.Namespace, write: Callable[[str], object]) -> int
 def _cmd_sweep(args: argparse.Namespace, write: Callable[[str], object]) -> int:
     from .scale import resolve_workers
 
-    seeds = tuple(range(args.cases))
-    workers = resolve_workers(args.workers)
+    session = ExperimentSession()
+    # --cases/--workers default to None so an *explicitly passed* default
+    # value is distinguishable from "not passed" when combined with --spec.
+    cases = args.cases if args.cases is not None else 10
+    workers_requested = args.workers if args.workers is not None else 1
+    if args.spec:
+        if args.cases is not None or args.churn:
+            # The document defines the sweep; silently dropping explicit
+            # flags would run something other than what was asked for.
+            write(
+                "--cases/--churn conflict with --spec (the document defines "
+                "the sweep); pass --workers to override the pool size"
+            )
+            return 2
+        spec = load_spec(_read_spec_text(args.spec))
+        if not isinstance(spec, SweepSpec):
+            write(
+                f"{args.spec}: expected a sweep spec, got an experiment spec "
+                "(use `repro run` for single experiments)"
+            )
+            return 2
+        if args.workers is not None:
+            import dataclasses
+
+            spec = dataclasses.replace(spec, workers=args.workers)
+        if args.emit_spec:
+            # Print the (possibly worker-overridden) normalized document
+            # instead of launching a potentially expensive sweep.
+            write(spec.to_json())
+            return 0
+        report = session.run_sweep(spec)
+        return _write_sweep_report(report, spec, args.json, write)
+    if args.emit_spec:
+        # Emit the *requested* worker count, not the resolved one: baking
+        # this machine's CPU count into the document would make the spec
+        # (and its digest) machine-dependent for no behavioural gain.
+        write(
+            property_sweep_spec(
+                cases=cases, workers=workers_requested, churn=args.churn
+            ).to_json()
+        )
+        return 0
+    workers = resolve_workers(workers_requested)
+    spec = property_sweep_spec(cases=cases, workers=workers, churn=args.churn)
+    report = session.run_sweep(spec)
+    if args.json:
+        _write_json(write, report.as_dict())
+        return 0 if report.all_hold else 1
+    cases = report.cases()
     if args.churn:
-        churn_cases = churn_property_sweep(seeds=seeds, workers=workers)
         write(
             format_table(
-                [case.as_row() for case in churn_cases],
+                [case.as_row() for case in cases],
                 title="EXP-C1 adversarial churn sweep",
             )
         )
-        ok = all(case.specification_holds for case in churn_cases)
-        violating = [c.seed for c in churn_cases if not c.specification_holds]
+        ok = all(case.specification_holds for case in cases)
+        violating = [c.seed for c in cases if not c.specification_holds]
         write(f"workers: {workers}  all hold: {ok}  violations: {violating}")
         return 0 if ok else 1
-    cases = property_sweep(seeds=seeds, workers=workers)
+    from .experiments import sweep_summary
+
     write(format_table([case.as_row() for case in cases], title="EXP-C1 sweep"))
     summary = sweep_summary(cases)
     write(
@@ -142,38 +228,87 @@ def _cmd_sweep(args: argparse.Namespace, write: Callable[[str], object]) -> int:
 
 
 def _cmd_churn(args: argparse.Namespace, write: Callable[[str], object]) -> int:
-    if args.scenario == "steady":
-        scenario = churn_steady_scenario(
-            nodes=args.nodes,
-            churn_rate=args.churn_rate,
-            duration=args.duration,
-            seed=args.seed,
+    if args.emit_spec and args.runtime == "both":
+        # A single experiment spec describes one engine; emitting only the
+        # sim half would silently drop the cross-runtime agreement check.
+        write(
+            "--emit-spec needs a single engine; re-run with --runtime sim "
+            "or --runtime asyncio (run both documents to compare)"
         )
-    elif args.scenario == "race":
-        scenario = churn_recovery_race_scenario(nodes=args.nodes, seed=args.seed)
-    else:
-        scenario = churn_flash_crowd_scenario(nodes=args.nodes, seed=args.seed)
-    write(f"scenario: {scenario.name} — {scenario.description}")
+        return 2
+    spec = churn_scenario_spec(
+        args.scenario,
+        nodes=args.nodes,
+        churn_rate=args.churn_rate,
+        duration=args.duration,
+        seed=args.seed,
+        runtime=args.runtime if args.runtime != "both" else "sim",
+    )
+    if args.emit_spec:
+        write(spec.to_json())
+        return 0
+    session = ExperimentSession()
     runtimes = ["sim", "asyncio"] if args.runtime == "both" else [args.runtime]
-    results = []
-    for runtime in runtimes:
-        result = scenario.run(check=True, seed=args.seed, runtime=runtime)
-        results.append(result)
-        write("")
-        write(f"=== {runtime} runtime ===")
-        write(result.summary())
-        write(result.specification.summary())
+    results = [session.run(spec.with_engine(runtime)) for runtime in runtimes]
     ok = all(r.specification.holds and r.quiescent for r in results)
+    agree = None
     if len(results) == 2:
         # Distinct decided views must agree across runtimes.  The per-epoch
         # decision counts may legitimately differ on racy scenarios: whether
         # a recovery beats the in-flight agreement is a timing question, and
         # both outcomes satisfy the epoch-quotiented specification.
         agree = results[0].decided_views == results[1].decided_views
+        ok = ok and agree
+    if args.json:
+        payload = {
+            "scenario": spec.name,
+            "runs": [result.as_dict() for result in results],
+            "ok": ok,
+        }
+        if agree is not None:
+            payload["runtimes_agree"] = agree
+        _write_json(write, payload)
+        return 0 if ok else 1
+    write(f"scenario: {spec.name} — {churn_scenario_description(args.scenario)}")
+    for runtime, result in zip(runtimes, results):
+        write("")
+        write(f"=== {runtime} runtime ===")
+        write(result.summary())
+        write(result.specification.summary())
+    if agree is not None:
         write("")
         write(f"runtimes decided identical views: {agree}")
-        ok = ok and agree
     return 0 if ok else 1
+
+
+def _read_spec_text(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    try:
+        return Path(path).read_text()
+    except OSError as exc:
+        from .api import SpecError
+
+        raise SpecError(f"cannot read spec file {path!r}: {exc}") from exc
+
+
+def _cmd_run(args: argparse.Namespace, write: Callable[[str], object]) -> int:
+    spec = load_spec(_read_spec_text(args.spec))
+    session = ExperimentSession()
+    if isinstance(spec, SweepSpec):
+        report = session.run_sweep(spec)
+        return _write_sweep_report(report, spec, args.json, write)
+    result = session.run(spec)
+    if args.json:
+        _write_json(write, result.as_dict())
+    else:
+        if spec.name:
+            write(f"spec: {spec.name} ({spec.digest()[:12]})")
+        write(result.summary())
+        if result.specification is not None:
+            write(result.specification.summary())
+    holds = result.specification.holds if result.specification is not None else True
+    return 0 if holds else 1
 
 
 def _cmd_report(args: argparse.Namespace, write: Callable[[str], object]) -> int:
@@ -190,13 +325,34 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="deterministic seed")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _add_spec_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--emit-spec",
+            action="store_true",
+            dest="emit_spec",
+            help="print the declarative spec JSON reproducing this command "
+            "(pipe into `repro run -`) instead of running it",
+        )
+        command.add_argument(
+            "--json",
+            action="store_true",
+            help="print the machine-readable result as JSON",
+        )
+
     quickstart = sub.add_parser("quickstart", help="crash a block in a grid and agree on it")
     quickstart.add_argument("--side", type=int, default=6, help="grid side length")
     quickstart.add_argument("--block", type=int, default=2, help="crashed block side length")
+    _add_spec_flags(quickstart)
     quickstart.set_defaults(func=_cmd_quickstart)
 
     figure = sub.add_parser("figure", help="run one of the paper's figure scenarios")
     figure.add_argument("which", choices=["1a", "1b", "2", "3"])
+    figure.add_argument(
+        "--emit-spec",
+        action="store_true",
+        dest="emit_spec",
+        help="print the spec JSON reproducing the figure's run",
+    )
     figure.set_defaults(func=_cmd_figure)
 
     locality = sub.add_parser("locality", help="EXP-L1/EXP-L2 locality sweeps")
@@ -210,7 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
     repair.set_defaults(func=_cmd_repair)
 
     sweep = sub.add_parser("sweep", help="EXP-C1 adversarial property sweep")
-    sweep.add_argument("--cases", type=int, default=10)
+    sweep.add_argument("--cases", type=int, default=None, help="number of seeds (default 10)")
     def _worker_count(text: str) -> int:
         value = int(text)
         if value < 0:
@@ -220,9 +376,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--workers",
         type=_worker_count,
-        default=1,
-        help="shard the sweep over N worker processes (0 = one per CPU); "
-        "results are identical for every worker count",
+        default=None,
+        help="shard the sweep over N worker processes (default 1, 0 = one "
+        "per CPU); results are identical for every worker count; with "
+        "--spec, overrides the document's worker count",
     )
     sweep.add_argument(
         "--churn",
@@ -230,6 +387,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the adversarial churn extension (random joins/recoveries "
         "racing cascades, epoch-quotiented CD1-CD7)",
     )
+    sweep.add_argument(
+        "--spec",
+        default=None,
+        help="run a sweep spec JSON file ('-' for stdin) instead of EXP-C1",
+    )
+    _add_spec_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     churn = sub.add_parser(
@@ -258,7 +421,22 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument(
         "--seed", type=int, default=argparse.SUPPRESS, help="deterministic seed"
     )
+    _add_spec_flags(churn)
     churn.set_defaults(func=_cmd_churn)
+
+    run = sub.add_parser(
+        "run", help="execute a declarative spec document (experiment or sweep)"
+    )
+    run.add_argument(
+        "spec",
+        help="path to a spec JSON file, or '-' to read the document from stdin",
+    )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable result as JSON",
+    )
+    run.set_defaults(func=_cmd_run)
 
     report = sub.add_parser("report", help="regenerate every experiment table")
     report.add_argument("--quick", action="store_true")

@@ -12,12 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from ..api.result import DecisionResultMixin, json_safe
 from ..core import CliffEdgeNode, DEFAULT_DECISION_POLICY, DecisionPolicy
 from ..core.properties import Decision, SpecificationReport, check_all, extract_decisions
 from ..failures import CrashSchedule
 from ..graph import DEFAULT_RANKING, KnowledgeGraph, NodeId, Region, RegionRanking
 from ..sim import (
     ConstantLatency,
+    EventScheduler,
     FailureDetectorPolicy,
     LatencyModel,
     PerfectFailureDetector,
@@ -27,8 +29,14 @@ from ..trace import RunMetrics, TraceRecorder, collect_metrics
 
 
 @dataclass
-class RunResult:
-    """Outcome of one simulated protocol run."""
+class RunResult(DecisionResultMixin):
+    """Outcome of one simulated protocol run.
+
+    Implements the unified :class:`repro.api.Result` protocol; the
+    decision-derived helpers (``decided_views``, ``deciding_nodes``,
+    ``decisions_on``, ``digest``) live in the shared
+    :class:`~repro.api.result.DecisionResultMixin`.
+    """
 
     graph: KnowledgeGraph
     schedule: CrashSchedule
@@ -42,18 +50,9 @@ class RunResult:
     labels: dict[str, Any] = field(default_factory=dict)
 
     @property
-    def decided_views(self) -> frozenset[Region]:
-        """The distinct views decided during the run."""
-        return frozenset(decision.view for decision in self.decisions)
-
-    @property
-    def deciding_nodes(self) -> frozenset[NodeId]:
-        """The nodes that decided during the run."""
-        return frozenset(decision.node for decision in self.decisions)
-
-    def decisions_on(self, view: Region) -> list[Decision]:
-        """All decisions whose view equals ``view``."""
-        return [decision for decision in self.decisions if decision.view == view]
+    def quiescent(self) -> bool:
+        """True when the simulator drained its event queue."""
+        return self.simulator.is_quiescent()
 
     def node(self, node_id: NodeId) -> CliffEdgeNode:
         """The protocol instance at ``node_id`` (post-run inspection)."""
@@ -72,14 +71,21 @@ class RunResult:
         )
         return self.specification
 
-    def digest(self) -> str:
-        """Canonical trace digest — the run's deterministic fingerprint.
-
-        Two runs with identical (topology, schedule, seed, knobs) produce
-        the same digest regardless of which process executed them; the
-        sharded sweep engine (:mod:`repro.scale`) compares these.
-        """
-        return self.trace.digest()
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable summary of the run (the ``--json`` payload)."""
+        return {
+            "type": "run",
+            "nodes": len(self.graph),
+            "edges": self.graph.edge_count,
+            "crashed": json_safe(self.schedule.nodes),
+            "quiescent": self.quiescent,
+            "metrics": json_safe(self.metrics),
+            "decisions": self._decisions_as_dicts(),
+            "decided_views": json_safe(self.decided_views),
+            "specification": self._specification_as_dict(),
+            "digest": self.digest(),
+            "labels": json_safe(self.labels),
+        }
 
     def summary(self) -> str:
         """Multi-line human-readable summary (used by examples)."""
@@ -117,6 +123,7 @@ def build_simulator(
     arbitration_enabled: bool = True,
     early_termination: bool = False,
     node_factory: Optional[Callable[[NodeId], CliffEdgeNode]] = None,
+    batch_dispatch: bool = True,
 ) -> Simulator:
     """Build a ready-to-run simulator with the protocol on every node."""
     schedule.validate(graph)
@@ -127,6 +134,7 @@ def build_simulator(
             failure_detector if failure_detector is not None else PerfectFailureDetector(1.0)
         ),
         seed=seed,
+        scheduler=EventScheduler(batch_dispatch=batch_dispatch),
     )
 
     def default_factory(node_id: NodeId) -> CliffEdgeNode:
@@ -157,6 +165,7 @@ def run_cliff_edge(
     check: bool = False,
     max_events: int = 5_000_000,
     until: Optional[float] = None,
+    batch_dispatch: bool = True,
 ) -> RunResult:
     """Run a full cliff-edge consensus scenario and collect the results.
 
@@ -176,6 +185,9 @@ def run_cliff_edge(
         When True, run the CD1–CD7 checkers and attach the report.
     max_events, until:
         Safety bounds forwarded to :meth:`Simulator.run`.
+    batch_dispatch:
+        Scheduler dispatch mode (the unbatched reference loop exists for
+        the determinism regression suite).
     """
     sim = build_simulator(
         graph,
@@ -188,6 +200,7 @@ def run_cliff_edge(
         arbitration_enabled=arbitration_enabled,
         early_termination=early_termination,
         node_factory=node_factory,
+        batch_dispatch=batch_dispatch,
     )
     sim.run(until=until, max_events=max_events)
     trace = sim.trace

@@ -345,8 +345,18 @@ class ChurnScenario:
         return result
 
 
+def torus_side_for(nodes: int) -> int:
+    """Side length of the torus approximating ``nodes`` nodes.
+
+    The single source of the churn scenarios' sizing formula — the spec
+    presets (:mod:`repro.api.presets`) reuse it so spec-driven runs stay
+    digest-identical to the classic builders.
+    """
+    return max(3, round(math.sqrt(nodes)))
+
+
 def _torus_for(nodes: int) -> KnowledgeGraph:
-    side = max(3, round(math.sqrt(nodes)))
+    side = torus_side_for(nodes)
     return torus(side, side)
 
 
@@ -449,6 +459,37 @@ def churn_flash_crowd_scenario(
 # ---------------------------------------------------------------------------
 # Large-torus scale family (the sharded-sweep workload)
 # ---------------------------------------------------------------------------
+def torus_block_members(
+    side: int, block_side: int, origin: tuple[int, int]
+) -> list[tuple[int, int]]:
+    """The member coordinates of a wrap-around block on a torus.
+
+    Pure modular arithmetic — the single source of block placement shared
+    by :func:`torus_block_scenario`, the ``torus-block`` sweep family and
+    the spec presets, none of which need a graph to compute it.
+    """
+    ox, oy = origin
+    return [
+        ((ox + dx) % side, (oy + dy) % side)
+        for dx in range(block_side)
+        for dy in range(block_side)
+    ]
+
+
+def torus_block_origins(
+    side: int, scenarios: int, block_side: int = 2
+) -> list[tuple[int, int]]:
+    """Block origins of the scale family, spread along the torus diagonal."""
+    if scenarios < 1:
+        raise ValueError("need at least one scenario")
+    stride = max(side // scenarios, block_side + 2)
+    origins = []
+    for index in range(scenarios):
+        offset = (index * stride) % side
+        origins.append((offset, (offset + index) % side))
+    return origins
+
+
 def torus_block_scenario(
     side: int = 32,
     block_side: int = 2,
@@ -469,11 +510,7 @@ def torus_block_scenario(
         raise ValueError("block must be smaller than the torus")
     graph = torus(side, side)
     ox, oy = origin
-    block = [
-        ((ox + dx) % side, (oy + dy) % side)
-        for dx in range(block_side)
-        for dy in range(block_side)
-    ]
+    block = torus_block_members(side, block_side, origin)
     schedule = region_crash(graph, block, at=at)
     return Scenario(
         name=f"torus{side}x{side}-block{block_side}@{(ox % side, oy % side)}",
@@ -505,17 +542,7 @@ def torus_scale_family(
     topology.  Runs are independent — ideal shards for
     :class:`~repro.scale.ShardedSweepRunner`.
     """
-    if scenarios < 1:
-        raise ValueError("need at least one scenario")
-    stride = max(side // scenarios, block_side + 2)
-    family = []
-    for index in range(scenarios):
-        offset = (index * stride) % side
-        family.append(
-            torus_block_scenario(
-                side=side,
-                block_side=block_side,
-                origin=(offset, (offset + index) % side),
-            )
-        )
-    return family
+    return [
+        torus_block_scenario(side=side, block_side=block_side, origin=origin)
+        for origin in torus_block_origins(side, scenarios, block_side)
+    ]

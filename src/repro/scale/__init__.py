@@ -24,6 +24,7 @@ from .families import (
     churn_property_tasks,
     family_names,
     get_family,
+    outcome_from_result,
     property_tasks,
     register_family,
     run_task,
@@ -54,6 +55,7 @@ __all__ = [
     "get_family",
     "family_names",
     "run_task",
+    "outcome_from_result",
     "property_tasks",
     "churn_property_tasks",
     "torus_scale_tasks",

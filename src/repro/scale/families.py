@@ -8,6 +8,12 @@ boundary never carries live objects.
 
 Built-in families:
 
+* ``spec`` — the generic declarative family: ``params["spec"]`` is a
+  serialized :class:`~repro.api.ExperimentSpec`, executed through
+  :class:`~repro.api.ExperimentSession` (topology builds go through the
+  spec-keyed cache, shared by tasks landing on the same worker).  Tasks
+  cross the process boundary *as specs*, not as registered names — this
+  is what :meth:`repro.api.SweepSpec.tasks` produces;
 * ``property`` — one EXP-C1 randomised topology × crash-schedule case;
 * ``churn-property`` — the adversarial churn extension of EXP-C1
   (random joins/recoveries racing cascades, epoch-quotiented CD1–CD7);
@@ -15,6 +21,8 @@ Built-in families:
   flash crowd) at a parameterised size;
 * ``torus-block`` — a square block crash on an ``side×side`` torus (the
   large-torus scale family; ``side=64`` is the 4096-node workload).
+  Backed by the spec layer, so repeated builds of the same big torus hit
+  the topology cache.
 
 Imports of the experiment harness happen lazily inside the family
 functions: :mod:`repro.experiments` itself uses the sweep runner, and the
@@ -79,6 +87,56 @@ def run_task(task: SweepTask, seed: Optional[int] = None) -> SweepOutcome:
 # ---------------------------------------------------------------------------
 # Built-in families
 # ---------------------------------------------------------------------------
+def outcome_from_result(
+    family: str,
+    label: str,
+    seed: int,
+    result: Any,
+    extra_labels: Optional[dict[str, Any]] = None,
+) -> SweepOutcome:
+    """Compress any run-layer :class:`~repro.api.Result` into an outcome.
+
+    Works for both :class:`~repro.experiments.runner.RunResult` and
+    :class:`~repro.churn.runner.ChurnRunResult` — the unified result
+    surface (``quiescent``, ``metrics``, ``specification``, ``digest``)
+    is all it needs.
+    """
+    specification = getattr(result, "specification", None)
+    labels = dict(result.labels)
+    if extra_labels:
+        labels.update(extra_labels)
+    return SweepOutcome(
+        family=family,
+        label=label,
+        seed=seed,
+        index=-1,
+        digest=result.digest(),
+        nodes=len(result.graph),
+        messages=result.metrics.messages_sent,
+        decisions=result.metrics.decisions,
+        decided_views=result.metrics.decided_views,
+        quiescent=result.quiescent,
+        spec_holds=specification.holds if specification is not None else True,
+        violations=(
+            tuple(specification.violations()) if specification is not None else ()
+        ),
+        labels=labels,
+    )
+
+
+def _spec_family(seed: int, spec: dict[str, Any]) -> SweepOutcome:
+    """One run of a serialized :class:`~repro.api.ExperimentSpec`.
+
+    The runner-derived (or task-pinned) ``seed`` overrides the spec's own
+    seed, so a spec template swept over many seeds stays one spec.
+    """
+    from ..api import ExperimentSession, ExperimentSpec
+
+    experiment = ExperimentSpec.from_dict(spec).with_seed(seed)
+    result = ExperimentSession().run(experiment)
+    return outcome_from_result("spec", experiment.display_name(), seed, result)
+
+
 def _property_family(seed: int) -> SweepOutcome:
     """One EXP-C1 case (static topology + crash schedule)."""
     from ..experiments.property_sweep import run_sweep_case
@@ -185,33 +243,49 @@ def _torus_block_family(
     at: float = 1.0,
     check: bool = True,
 ) -> SweepOutcome:
-    """A square block crash on a ``side×side`` torus (scale workload)."""
-    from ..experiments.scenarios import torus_block_scenario
+    """A square block crash on a ``side×side`` torus (scale workload).
 
-    scenario = torus_block_scenario(
-        side=side, block_side=block_side, origin=tuple(origin), at=at
+    Implemented through the spec layer: the block is computed without
+    touching the graph, and the ``side×side`` torus build goes through
+    the spec-keyed topology cache — tasks of the same family landing on
+    the same worker rebuild it zero times instead of once each (the
+    ROADMAP's "caching repeated topology builds" item).
+    """
+    from ..api import (
+        ExperimentSession,
+        ExperimentSpec,
+        FailureSpec,
+        SpecError,
+        TopologySpec,
     )
-    result = scenario.run(check=check, seed=seed)
-    specification = result.specification
-    return SweepOutcome(
-        family="torus-block",
-        label=scenario.name,
+
+    from ..experiments.scenarios import torus_block_members
+
+    if side < 3:
+        raise SpecError("torus side must be at least 3")
+    if not (1 <= block_side < side - 1):
+        raise SpecError("block must be smaller than the torus")
+    ox, oy = tuple(origin)
+    block = sorted(torus_block_members(side, block_side, (ox, oy)))
+    name = f"torus{side}x{side}-block{block_side}@{(ox % side, oy % side)}"
+    spec = ExperimentSpec(
+        name=name,
+        topology=TopologySpec("torus", {"width": side, "height": side}),
+        failure=FailureSpec("region", {"members": block, "at": at}),
         seed=seed,
-        index=-1,
-        digest=result.digest(),
-        nodes=len(result.graph),
-        messages=result.metrics.messages_sent,
-        decisions=result.metrics.decisions,
-        decided_views=result.metrics.decided_views,
-        quiescent=result.simulator.is_quiescent(),
-        spec_holds=specification.holds if specification is not None else True,
-        violations=(
-            tuple(specification.violations()) if specification is not None else ()
-        ),
-        labels=dict(result.labels),
+        check=check,
+        labels={
+            "side": side,
+            "nodes": side * side,
+            "block_side": block_side,
+            "origin": (ox % side, oy % side),
+        },
     )
+    result = ExperimentSession().run(spec)
+    return outcome_from_result("torus-block", name, seed, result)
 
 
+register_family("spec", _spec_family)
 register_family("property", _property_family)
 register_family("churn-property", _churn_property_family)
 register_family("churn-scenario", _churn_scenario_family)

@@ -71,7 +71,13 @@ def _execute_indexed(task: SweepTask, index: int, seed: int) -> SweepOutcome:
 
 @dataclass(frozen=True)
 class SweepReport:
-    """Merged, order-stable result of a sharded sweep."""
+    """Merged, order-stable result of a sharded sweep.
+
+    Implements the unified :class:`repro.api.Result` protocol alongside
+    :class:`~repro.experiments.runner.RunResult` and
+    :class:`~repro.churn.runner.ChurnRunResult`: ``digest()``,
+    ``check_specification()``, ``summary()`` and ``as_dict()``.
+    """
 
     outcomes: tuple[SweepOutcome, ...]
     workers: int
@@ -124,6 +130,48 @@ class SweepReport:
 
     def as_rows(self) -> list[dict[str, Any]]:
         return [o.as_row() for o in self.outcomes]
+
+    def check_specification(self):
+        """The sweep-level specification verdict.
+
+        Per-run CD1–CD7 checks ran inside the workers; this aggregates
+        their verdicts (see
+        :class:`~repro.api.result.AggregateSpecification`).
+        """
+        from ..api.result import AggregateSpecification
+
+        violations = tuple(
+            f"run #{outcome.index} ({outcome.label}, seed={outcome.seed}): {violation}"
+            for outcome in self.outcomes
+            for violation in outcome.violations
+        )
+        return AggregateSpecification(
+            holds=self.all_hold,
+            checked_runs=len(self.outcomes),
+            violation_list=violations,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable report (the CLI's ``--json`` payload)."""
+        from ..api.result import json_safe
+
+        return {
+            "type": "sweep",
+            "workers": self.workers,
+            "base_seed": self.base_seed,
+            "digest": self.digest(),
+            "summary": self.summary(),
+            "runs": [
+                dict(
+                    outcome.as_row(),
+                    digest=outcome.digest,
+                    wall_time=outcome.wall_time,
+                    violations=list(outcome.violations),
+                )
+                for outcome in self.outcomes
+            ],
+            "labels": json_safe(self.labels),
+        }
 
     def summary(self) -> dict[str, Any]:
         return {

@@ -109,5 +109,10 @@ class ScriptedFailureDetector:
             raise ValueError("delay must be non-negative")
         self._delays[(subscriber, crashed)] = delay
 
+    @property
+    def delays(self) -> dict[tuple[NodeId, NodeId], float]:
+        """A copy of the scripted per-pair delays (spec serialization)."""
+        return dict(self._delays)
+
     def delay(self, subscriber: NodeId, crashed: NodeId, rng: random.Random) -> float:
         return self._delays.get((subscriber, crashed), self.default_delay)

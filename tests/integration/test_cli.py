@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -76,3 +78,171 @@ class TestCommands:
         assert main(["locality"], write=out) == 0
         assert "flat across system sizes: True" in out.text
         assert "EXP-L2" in out.text
+
+
+class TestSpecLayerCommands:
+    """The declarative front door: run, --emit-spec, --json."""
+
+    def test_quickstart_emit_spec_round_trips_through_run(self, tmp_path):
+        emitted = _Capture()
+        assert main(["quickstart", "--emit-spec"], write=emitted) == 0
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(emitted.text)
+        ran = _Capture()
+        assert main(["run", str(spec_file)], write=ran) == 0
+        assert "decided by" in ran.text
+        assert "[OK ] CD1 Integrity" in ran.text
+
+    def test_emitted_spec_reproduces_the_quickstart_run(self, tmp_path):
+        from repro.api import ExperimentSession, load_spec
+
+        emitted = _Capture()
+        main(["quickstart", "--emit-spec"], write=emitted)
+        spec = load_spec(emitted.text)
+        direct = _Capture()
+        main(["quickstart", "--json"], write=direct)
+        assert ExperimentSession().run(spec).digest() == json.loads(direct.text)["digest"]
+
+    def test_quickstart_json(self):
+        out = _Capture()
+        assert main(["quickstart", "--json"], write=out) == 0
+        payload = json.loads(out.text)
+        assert payload["type"] == "run"
+        assert payload["specification"]["holds"] is True
+        assert payload["decisions"]
+
+    def test_sweep_json(self):
+        out = _Capture()
+        assert main(["sweep", "--cases", "2", "--json"], write=out) == 0
+        payload = json.loads(out.text)
+        assert payload["type"] == "sweep"
+        assert payload["summary"]["all_hold"] is True
+        assert len(payload["runs"]) == 2
+
+    def test_sweep_emit_spec_and_spec_file(self, tmp_path):
+        emitted = _Capture()
+        assert main(["sweep", "--cases", "2", "--emit-spec"], write=emitted) == 0
+        spec_file = tmp_path / "sweep.json"
+        spec_file.write_text(emitted.text)
+        ran = _Capture()
+        assert main(["sweep", "--spec", str(spec_file)], write=ran) == 0
+        assert "all hold: True" in ran.text
+
+    def test_churn_json(self):
+        out = _Capture()
+        assert main(["churn", "--scenario", "flash", "--nodes", "16", "--json"], write=out) == 0
+        payload = json.loads(out.text)
+        assert payload["scenario"] == "churn-flash-crowd"
+        assert payload["ok"] is True
+        assert payload["runs"][0]["type"] == "churn-run"
+
+    def test_churn_emit_spec_round_trips_through_run(self, tmp_path):
+        emitted = _Capture()
+        assert main(
+            ["churn", "--scenario", "race", "--nodes", "16", "--emit-spec"],
+            write=emitted,
+        ) == 0
+        spec_file = tmp_path / "churn.json"
+        spec_file.write_text(emitted.text)
+        ran = _Capture()
+        assert main(["run", str(spec_file)], write=ran) == 0
+        assert "epoch-quotiented specification CD1-CD7: holds" in ran.text
+
+    def test_figure_emit_spec_round_trips_through_run(self, tmp_path):
+        emitted = _Capture()
+        assert main(["figure", "1b", "--emit-spec"], write=emitted) == 0
+        spec_file = tmp_path / "figure.json"
+        spec_file.write_text(emitted.text)
+        ran = _Capture()
+        assert main(["run", str(spec_file), "--json"], write=ran) == 0
+        payload = json.loads(ran.text)
+        assert payload["specification"]["holds"] is True
+
+    def test_run_executes_sweep_documents(self, tmp_path):
+        from pathlib import Path
+
+        golden = Path(__file__).resolve().parents[1] / "data" / "golden_spec.json"
+        out = _Capture()
+        assert main(["run", str(golden)], write=out) == 0
+        assert "all hold: True" in out.text
+
+    def test_churn_both_runtimes_refuses_emit_spec(self):
+        out = _Capture()
+        code = main(
+            ["churn", "--scenario", "race", "--runtime", "both", "--emit-spec"],
+            write=out,
+        )
+        assert code == 2
+        assert "single engine" in out.text
+
+    def test_sweep_spec_conflicting_flags_rejected(self, tmp_path):
+        emitted = _Capture()
+        main(["sweep", "--cases", "2", "--emit-spec"], write=emitted)
+        spec_file = tmp_path / "sweep.json"
+        spec_file.write_text(emitted.text)
+        out = _Capture()
+        assert main(["sweep", "--spec", str(spec_file), "--cases", "5"], write=out) == 2
+        assert "conflict" in out.text
+
+    def test_sweep_spec_workers_flag_overrides_document(self, tmp_path):
+        emitted = _Capture()
+        main(["sweep", "--cases", "2", "--emit-spec"], write=emitted)
+        spec_file = tmp_path / "sweep.json"
+        spec_file.write_text(emitted.text)
+        out = _Capture()
+        assert main(
+            ["sweep", "--spec", str(spec_file), "--workers", "2", "--json"], write=out
+        ) == 0
+        assert json.loads(out.text)["workers"] == 2
+
+    def test_sweep_spec_explicit_default_worker_count_overrides(self, tmp_path):
+        # An explicitly passed --workers 1 must beat a workers=2 document.
+        emitted = _Capture()
+        main(["sweep", "--cases", "2", "--workers", "2", "--emit-spec"], write=emitted)
+        spec_file = tmp_path / "sweep.json"
+        spec_file.write_text(emitted.text)
+        out = _Capture()
+        assert main(
+            ["sweep", "--spec", str(spec_file), "--workers", "1", "--json"], write=out
+        ) == 0
+        assert json.loads(out.text)["workers"] == 1
+
+    def test_sweep_spec_with_emit_spec_prints_instead_of_running(self, tmp_path):
+        emitted = _Capture()
+        main(["sweep", "--cases", "2", "--emit-spec"], write=emitted)
+        spec_file = tmp_path / "sweep.json"
+        spec_file.write_text(emitted.text)
+        out = _Capture()
+        assert main(
+            ["sweep", "--spec", str(spec_file), "--workers", "4", "--emit-spec"],
+            write=out,
+        ) == 0
+        assert json.loads(out.text)["workers"] == 4  # normalized doc, not a run
+
+    def test_sweep_emit_spec_keeps_requested_worker_count(self):
+        out = _Capture()
+        assert main(["sweep", "--cases", "2", "--workers", "0", "--emit-spec"], write=out) == 0
+        assert json.loads(out.text)["workers"] == 0
+
+    def test_run_rejects_malformed_documents(self, tmp_path):
+        from repro.api import SpecError
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"spec\": \"nonsense\"}")
+        with pytest.raises(SpecError):
+            main(["run", str(bad)], write=_Capture())
+
+    def test_run_missing_file_is_a_spec_error(self, tmp_path):
+        from repro.api import SpecError
+
+        with pytest.raises(SpecError, match="cannot read spec file"):
+            main(["run", str(tmp_path / "nope.json")], write=_Capture())
+
+    def test_sweep_spec_rejects_experiment_documents(self, tmp_path):
+        emitted = _Capture()
+        main(["quickstart", "--emit-spec"], write=emitted)
+        spec_file = tmp_path / "exp.json"
+        spec_file.write_text(emitted.text)
+        out = _Capture()
+        assert main(["sweep", "--spec", str(spec_file)], write=out) == 2
+        assert "expected a sweep spec" in out.text

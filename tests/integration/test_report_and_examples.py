@@ -85,6 +85,7 @@ class TestReportSections:
         ("overlay_repair.py", "ring restored=True"),
         ("asyncio_runtime.py", "both runtimes agreed on the same crashed region(s): True"),
         ("churn_recovery.py", "same decided views as the simulator: True"),
+        ("declarative_spec.py", "all hold: True"),
     ],
 )
 def test_example_scripts_run(script, expected):

@@ -13,8 +13,11 @@ repository is built on:
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
+from repro.api import SweepSpec, run_spec
 from repro.churn import crash_recover_recrash, run_churn
 from repro.core import CliffEdgeNode
 from repro.experiments import churn_property_sweep, property_sweep, torus_scale_family
@@ -23,6 +26,11 @@ from repro.graph.generators import grid, torus
 from repro.scale import ShardedSweepRunner, churn_property_tasks, property_tasks, torus_scale_tasks
 from repro.sim import ConstantLatency, EventScheduler, PerfectFailureDetector, Simulator
 from repro.trace import collect_metrics
+
+GOLDEN_SPEC = Path(__file__).resolve().parents[1] / "data" / "golden_spec.json"
+#: Pinned canonical digest of the golden sweep spec itself (a pure
+#: function of the document — breaks only if the spec format changes).
+GOLDEN_SPEC_DIGEST = "59cc4ec8cd67e75be8ae211e740e86d1f1c4c00fd4da4efb887206d31d13f5d9"
 
 
 class TestShardedSweepDeterminism:
@@ -58,6 +66,46 @@ class TestShardedSweepDeterminism:
                 ShardedSweepRunner(workers=1, base_seed=11).seed_for(task, i)
                 for i, task in enumerate(tasks)
             ]
+
+
+class TestGoldenSpecDeterminism:
+    """The golden sweep spec pins the declarative layer end to end."""
+
+    def _load(self) -> SweepSpec:
+        from repro.api import load_spec
+
+        spec = load_spec(GOLDEN_SPEC.read_text())
+        assert isinstance(spec, SweepSpec)
+        return spec
+
+    def test_golden_spec_digest_is_pinned(self):
+        spec = self._load()
+        assert spec.digest() == GOLDEN_SPEC_DIGEST
+
+    def test_golden_spec_round_trips_byte_identically(self):
+        spec = self._load()
+        assert spec.to_json() + "\n" == GOLDEN_SPEC.read_text()
+        assert SweepSpec.from_json(spec.to_json()) == spec
+
+    def test_golden_sweep_digest_equal_across_worker_counts(self):
+        import dataclasses
+
+        spec = self._load()
+        sharded = run_spec(spec)
+        inline = run_spec(dataclasses.replace(spec, workers=1))
+        assert sharded.digest() == inline.digest()
+        assert [o.digest for o in sharded.outcomes] == [
+            o.digest for o in inline.outcomes
+        ]
+        assert sharded.all_hold and sharded.all_quiescent
+        assert len(sharded) == len(spec)
+
+    def test_spec_task_seeds_are_pinned_not_derived(self):
+        # Experiment-mode tasks pin the point's own seed, so the runner's
+        # base seed cannot perturb spec-driven runs.
+        spec = self._load()
+        for task, point in zip(spec.tasks(), spec.expand()):
+            assert task.seed == point.seed
 
 
 class TestBatchedDispatchDeterminism:
