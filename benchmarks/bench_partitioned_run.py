@@ -1,0 +1,174 @@
+"""SCALE-2 benchmark: partitioned event scheduling inside one large run.
+
+Times one multi-block crash scenario on a ``side×side`` torus three ways —
+the sequential :class:`~repro.sim.network.Simulator`, the partitioned
+backend with all shards inline in one process (isolates the keyed-
+scheduler/barrier overhead), and the partitioned backend with one OS
+process per shard (the parallel path) — asserts all three produce the
+same canonical trace digest (the backend's determinism contract), and
+writes the measurements to ``BENCH_partition.json``.
+
+The scenario crashes one block per partition-sized region of the torus so
+that protocol work is spread across shards; a single-block scenario would
+concentrate all work in one shard and measure nothing but overhead.
+
+Reading the numbers: ``speedup`` is ``wall(sequential) /
+wall(partitions=N, process backend)``.  It is meaningful only when
+``config.cpus >= partitions``; a single-CPU container reports < 1x (the
+barrier and serialization overhead with zero parallelism to pay for it)
+while ``digest_equal`` still proves the partitioned execution exact.
+
+Run directly::
+
+    python benchmarks/bench_partitioned_run.py [--smoke] [--partitions N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from time import perf_counter
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro  # noqa: E402
+from repro.experiments.runner import run_cliff_edge  # noqa: E402
+from repro.experiments.scenarios import torus_block_members  # noqa: E402
+from repro.failures import multi_region_crash  # noqa: E402
+from repro.graph.generators import torus  # noqa: E402
+from repro.sim.partition import run_partitioned  # noqa: E402
+
+
+def build_scenario(side: int, partitions: int, block_side: int):
+    """One ``block_side``-square crash per shard-sized cell of the torus.
+
+    Blocks sit at the centres of a near-square grid of cells, so every
+    partition of the default partitioner ends up with protocol activity.
+    """
+    graph = torus(side, side)
+    columns = max(1, int(round(partitions**0.5)))
+    rows = (partitions + columns - 1) // columns
+    regions = []
+    for index in range(partitions):
+        row, column = divmod(index, columns)
+        origin = (
+            (column * side) // columns + side // (2 * columns),
+            (row * side) // rows + side // (2 * rows),
+        )
+        regions.append(sorted(torus_block_members(side, block_side, origin)))
+    schedule = multi_region_crash(graph, regions, at=1.0, stagger=0.5)
+    return graph, schedule
+
+
+def run_benchmark(side: int, partitions: int, block_side: int, seed: int) -> dict:
+    graph, schedule = build_scenario(side, partitions, block_side)
+    runs = []
+
+    started = perf_counter()
+    sequential = run_cliff_edge(graph, schedule, seed=seed)
+    sequential_wall = perf_counter() - started
+    runs.append(
+        {
+            "mode": "sequential",
+            "partitions": 1,
+            "wall_time_s": round(sequential_wall, 3),
+            "digest": sequential.digest(),
+            "events": len(sequential.trace),
+        }
+    )
+
+    for backend in ("inline", "process"):
+        started = perf_counter()
+        partitioned = run_partitioned(
+            graph, schedule, partitions=partitions, seed=seed, backend=backend
+        )
+        wall = perf_counter() - started
+        runs.append(
+            {
+                "mode": f"partitioned-{backend}",
+                "partitions": partitions,
+                "wall_time_s": round(wall, 3),
+                "digest": partitioned.digest(),
+                "events": len(partitioned.trace),
+                "barrier_rounds": partitioned.barrier_rounds,
+            }
+        )
+
+    digests = {run["digest"] for run in runs}
+    if len(digests) != 1:
+        raise AssertionError(
+            f"partitioned backend is not digest-identical to sequential: {digests}"
+        )
+    process_wall = runs[-1]["wall_time_s"]
+    speedup = sequential_wall / process_wall if process_wall > 0 else 1.0
+    return {
+        "benchmark": "bench_partitioned_run",
+        "version": repro.__version__,
+        "config": {
+            "side": side,
+            "nodes": side * side,
+            "partitions": partitions,
+            "block_side": block_side,
+            "seed": seed,
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "runs": runs,
+        "speedup": round(speedup, 3),
+        "digest_equal": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny CI configuration (16x16 torus)"
+    )
+    parser.add_argument("--side", type=int, default=None, help="torus side length")
+    parser.add_argument("--partitions", type=int, default=4)
+    parser.add_argument("--block-side", type=int, default=None, dest="block_side")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_partition.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke or os.environ.get("REPRO_BENCH_SMOKE"):
+        side = args.side or 16
+        block_side = args.block_side or 2
+    else:
+        side = args.side or 64
+        block_side = args.block_side or 3
+    result = run_benchmark(
+        side=side, partitions=args.partitions, block_side=block_side, seed=args.seed
+    )
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    for run in result["runs"]:
+        extra = (
+            f" barriers={run['barrier_rounds']}" if "barrier_rounds" in run else ""
+        )
+        print(
+            f"{run['mode']}: wall={run['wall_time_s']}s events={run['events']} "
+            f"digest={run['digest'][:12]}{extra}"
+        )
+    cpus = result["config"]["cpus"]
+    print(
+        f"speedup (process x{args.partitions} vs sequential): {result['speedup']}x "
+        f"on {cpus} CPU(s)  digest-equal: {result['digest_equal']}  -> {args.output}"
+    )
+    if cpus is not None and cpus < args.partitions:
+        print(
+            "note: fewer CPUs than partitions — the speedup above measures "
+            "overhead, not parallelism"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -75,9 +75,42 @@ from .sim import (
     Simulator,
     UniformLatency,
 )
+from .sim.partition import (
+    PartitionedRunResult,
+    PartitionError,
+    partition_graph,
+    run_partitioned,
+)
 from .trace import RunMetrics, TraceRecorder, collect_metrics
 
-__version__ = "1.0.0"
+
+def _read_version() -> str:
+    """The package version, sourced from ``pyproject.toml``.
+
+    A source checkout (the common case: ``PYTHONPATH=src``) reads the
+    project table directly, so bench JSON and ``repro --version`` report
+    the working tree's version even without an install; an installed
+    distribution falls back to its own metadata.
+    """
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        import tomllib
+
+        with pyproject.open("rb") as handle:
+            return tomllib.load(handle)["project"]["version"]
+    except (OSError, KeyError, ImportError, ValueError):
+        pass
+    try:
+        from importlib.metadata import version
+
+        return version("repro-cliff-edge")
+    except Exception:  # pragma: no cover - metadata missing entirely
+        return "0.0.0+unknown"
+
+
+__version__ = _read_version()
 
 __all__ = [
     "__version__",
@@ -113,6 +146,11 @@ __all__ = [
     "crash_recover_recrash",
     "steady_state_churn",
     "flash_crowd_joins",
+    # Partitioned backend (intra-run parallelism)
+    "run_partitioned",
+    "partition_graph",
+    "PartitionedRunResult",
+    "PartitionError",
     # Simulation substrate
     "Simulator",
     "ConstantLatency",

@@ -29,6 +29,20 @@ Quick start::
 
 The same spec serializes with ``spec.to_json()`` and runs from the shell
 with ``python -m repro run SPEC.json``.
+
+Determinism invariants:
+
+* spec digests are canonical — independent of ``PYTHONHASHSEED``, dict
+  insertion order, field spelling (collections are normalised at
+  construction) and the process computing them; they key the topology
+  build cache and fingerprint sweep documents;
+* resolving and running the same spec document always produces the same
+  result digest, whichever execution path the session picks — sequential
+  simulator, churn runner, or the partitioned backend selected by
+  ``RuntimeSpec.partitions`` (serialized only when it differs from 1, so
+  pre-partitioning documents and their digests are unchanged);
+* ``Result.digest()`` is a pure function of the run's trace, never of
+  labels, timing, or which worker/backend produced it.
 """
 
 from .cache import (

@@ -129,6 +129,36 @@ class ExperimentSession:
                 seed=spec.seed,
                 check=spec.check,
             )
+        elif runtime.partitions > 1:
+            from ..sim.partition import run_partitioned
+
+            if not runtime.batched:
+                raise SpecError(
+                    "the partitioned backend uses the keyed scheduler; "
+                    "batched=False selects the sequential reference loop "
+                    "and cannot be combined with partitions > 1"
+                )
+            if not spec.membership.is_static and (
+                not spec.arbitration or spec.early_termination
+            ):
+                raise SpecError(
+                    "the churn runner has no arbitration/early-termination "
+                    "ablation knobs; use a static membership spec"
+                )
+            result = run_partitioned(
+                graph,
+                schedule,
+                membership,
+                partitions=runtime.partitions,
+                latency=runtime.resolve_latency(),
+                failure_detector=runtime.resolve_failure_detector(),
+                seed=spec.seed,
+                arbitration_enabled=spec.arbitration,
+                early_termination=spec.early_termination,
+                check=spec.check,
+                max_events=runtime.max_events,
+                until=runtime.until,
+            )
         elif spec.membership.is_static:
             from ..experiments.runner import run_cliff_edge
 

@@ -499,6 +499,14 @@ class RuntimeSpec(_SpecBase):
     (``constant``/``uniform``/``exponential`` latencies;
     ``perfect``/``jittered``/``scripted`` detectors); ``None`` means the
     runner defaults.
+
+    ``partitions`` selects the partitioned simulator backend
+    (:mod:`repro.sim.partition`): the graph is split into that many
+    locality-aware shards whose schedulers run in parallel, with a merged
+    trace digest *identical* to the sequential run.  ``1`` (the default)
+    is the sequential simulator.  The field is serialized only when it
+    differs from ``1``, so pre-partitioning spec documents and their
+    digests are unchanged.
     """
 
     engine: str = "sim"
@@ -507,6 +515,7 @@ class RuntimeSpec(_SpecBase):
     failure_detector: Optional[Mapping[str, Any]] = None
     max_events: int = 5_000_000
     until: Optional[float] = None
+    partitions: int = 1
     #: asyncio-only knobs (ignored by the simulator).
     detection_delay: float = 0.01
     time_scale: float = 0.01
@@ -519,13 +528,25 @@ class RuntimeSpec(_SpecBase):
             raise SpecError(
                 f"unknown engine {self.engine!r}; known: {', '.join(self.ENGINES)}"
             )
+        if not isinstance(self.partitions, int) or isinstance(self.partitions, bool):
+            raise SpecError(
+                f"partitions must be an integer, got {self.partitions!r}"
+            )
+        if self.partitions < 1:
+            raise SpecError(f"partitions must be >= 1, got {self.partitions}")
+        if self.partitions > 1 and self.engine != "sim":
+            raise SpecError(
+                "partitioned execution needs engine='sim' (the asyncio "
+                "runtime is wall-clock driven and cannot be partitioned "
+                "deterministically)"
+            )
         if self.latency is not None:
             object.__setattr__(self, "latency", freeze(self.latency))
         if self.failure_detector is not None:
             object.__setattr__(self, "failure_detector", freeze(self.failure_detector))
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "engine": self.engine,
             "batched": self.batched,
             "latency": thaw(self.latency) if self.latency is not None else None,
@@ -538,6 +559,11 @@ class RuntimeSpec(_SpecBase):
             "time_scale": self.time_scale,
             "timeout": self.timeout,
         }
+        if self.partitions != 1:
+            # Omitted at the default so documents (and digests) written
+            # before the partitioned backend existed stay byte-identical.
+            data["partitions"] = self.partitions
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RuntimeSpec":
@@ -681,6 +707,12 @@ class ExperimentSpec(_SpecBase):
         """The same experiment on a different runtime engine."""
         return dataclasses.replace(
             self, runtime=dataclasses.replace(self.runtime, engine=engine)
+        )
+
+    def with_partitions(self, partitions: int) -> "ExperimentSpec":
+        """The same experiment on ``partitions`` simulator shards."""
+        return dataclasses.replace(
+            self, runtime=dataclasses.replace(self.runtime, partitions=partitions)
         )
 
     def display_name(self) -> str:

@@ -296,8 +296,17 @@ def _cmd_run(args: argparse.Namespace, write: Callable[[str], object]) -> int:
     spec = load_spec(_read_spec_text(args.spec))
     session = ExperimentSession()
     if isinstance(spec, SweepSpec):
+        if args.partitions is not None:
+            write(
+                "--partitions applies to single experiments; a sweep "
+                "parallelises across runs (set 'workers' in the document "
+                "or use `repro sweep --workers`)"
+            )
+            return 2
         report = session.run_sweep(spec)
         return _write_sweep_report(report, spec, args.json, write)
+    if args.partitions is not None:
+        spec = spec.with_partitions(args.partitions)
     result = session.run(spec)
     if args.json:
         _write_json(write, result.as_dict())
@@ -318,9 +327,17 @@ def _cmd_report(args: argparse.Namespace, write: Callable[[str], object]) -> int
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Cliff-edge consensus (Taïani et al., PaCT 2013) — reproduction CLI",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+        help="print the package version (sourced from pyproject.toml)",
     )
     parser.add_argument("--seed", type=int, default=0, help="deterministic seed")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -435,6 +452,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print the machine-readable result as JSON",
+    )
+
+    def _partition_count(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError("partitions must be >= 1")
+        return value
+
+    run.add_argument(
+        "--partitions",
+        type=_partition_count,
+        default=None,
+        help="split the single run across N locality-aware simulator "
+        "shards (overrides the document's runtime.partitions); the "
+        "merged trace digest is identical for every N",
     )
     run.set_defaults(func=_cmd_run)
 

@@ -48,11 +48,41 @@ class RoundMessage:
     def __post_init__(self) -> None:
         if self.round < 1:
             raise ValueError("round numbers are 1-based")
-        if not isinstance(self.border, frozenset):
-            object.__setattr__(self, "border", frozenset(self.border))
-        # Freeze the mapping into a plain dict copy so the message is
-        # genuinely immutable from the recipient's point of view.
-        object.__setattr__(self, "opinions", dict(self.opinions))
+        # Canonical container layout: the border is rebuilt by inserting
+        # its elements in repr order and the vector keeps repr key order,
+        # so every process sharing the hash seed — including one that
+        # received the message through a pickle round trip (the
+        # partitioned backend's cross-shard envelopes, whose workers
+        # fork) — iterates them identically.  Receivers
+        # fold these containers into instance state whose iteration order
+        # is observable (multicast fan-out, catch-up reply loops);
+        # layout-canonical messages keep that behaviour a pure function of
+        # the message *value*.
+        object.__setattr__(
+            self, "border", frozenset(sorted(self.border, key=repr))
+        )
+        # Freeze the mapping into a plain dict copy (canonical key order)
+        # so the message is genuinely immutable from the recipient's
+        # point of view.
+        object.__setattr__(
+            self,
+            "opinions",
+            {
+                node: opinion
+                for node, opinion in sorted(
+                    self.opinions.items(), key=lambda item: repr(item[0])
+                )
+            },
+        )
+
+    def __reduce__(self):
+        # Unpickle through __init__ so __post_init__ restores the
+        # canonical layout (the default dataclass pickling would restore
+        # the containers with an arbitrary hash-table layout).
+        return (
+            type(self),
+            (self.round, self.view, self.border, self.opinions, self.attempt),
+        )
 
     def is_rejection(self) -> bool:
         """True when the message carries at least one ``reject`` opinion."""

@@ -47,6 +47,19 @@ class Region:
     def __post_init__(self) -> None:
         if not self.members:
             raise RegionError("a region must contain at least one node")
+        # Canonical layout: rebuild the member set by inserting in repr
+        # order, so iteration order is a pure function of (value, hash
+        # seed) — identical across pickle round trips and in every
+        # process sharing the hash seed (the partitioned backend's
+        # process workers fork, and downstream border computations
+        # iterate regions into behaviour-observable orders).
+        object.__setattr__(
+            self, "members", frozenset(sorted(self.members, key=repr))
+        )
+
+    def __reduce__(self):
+        # Unpickle through __init__ so the canonical layout is restored.
+        return (type(self), (self.members,))
 
     @classmethod
     def of(cls, graph: KnowledgeGraph, nodes: Iterable[NodeId]) -> "Region":

@@ -12,11 +12,26 @@ results into an order-stable, digest-verifiable report.
   large-torus block family) plus task-list builders;
 * :mod:`repro.scale.sweep` — :class:`ShardedSweepRunner` itself.
 
-Determinism contract: a sweep's outcome — every run's canonical trace
-digest and the merged report digest — is a pure function of
-``(tasks, base_seed)`` and is *independent of the worker count*.  The
-determinism regression suite (``tests/integration``) holds the project to
-this.
+Determinism invariants:
+
+* a sweep's outcome — every run's canonical trace digest and the merged
+  report digest — is a pure function of ``(tasks, base_seed)`` and is
+  *independent of the worker count*: per-run seeds derive from
+  ``(base_seed, submission index, family, params)`` through SHA-256
+  before any work is distributed, and results merge in submission order
+  no matter which worker finishes first;
+* tasks cross process boundaries as *data* (family name + params, or a
+  serialized spec), never as live objects, so a worker rebuilds each
+  scenario from scratch and hash-seed differences cannot leak in;
+* the engine parallelises *across* runs and composes with the
+  partitioned backend (:mod:`repro.sim.partition`), which parallelises
+  *inside* one run — a spec with ``runtime.partitions > 1`` inside a
+  sweep runs its shards inline on the pool workers (no nested process
+  fan-out oversubscribing the host), with an identical digest either
+  way.
+
+The determinism regression suite (``tests/integration``) holds the
+project to all of this.
 """
 
 from .families import (

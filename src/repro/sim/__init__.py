@@ -1,6 +1,22 @@
-"""Deterministic discrete-event simulation substrate."""
+"""Deterministic discrete-event simulation substrate.
 
-from .events import EventKind, TraceEvent, payload_size
+Determinism invariants (what every module in this package preserves):
+
+* a run is a pure function of ``(topology, processes, schedules, latency
+  model, failure-detector policy, seed)`` — all nondeterminism lives in
+  the seeded RNG, and handlers are never invoked outside the event loop;
+* events execute in ``(timestamp, insertion order)`` — the scheduler's
+  batched fast path, lazy-deletion compaction, and the keyed scheduler
+  of the partitioned backend are all invisible to that order;
+* channels are reliable and FIFO per ordered node pair (the delivery
+  clamp in :meth:`Simulator._send`), crashed nodes stop instantly, and
+  the failure detector is perfect;
+* the partitioned backend (:mod:`repro.sim.partition`) splits one run
+  across shard schedulers and merges a trace *bit-identical* to the
+  sequential simulator's — see that module's docstring for how.
+"""
+
+from .events import EventKind, PartitionEnvelope, TraceEvent, payload_size
 from .failure_detector import (
     FailureDetectorPolicy,
     JitteredFailureDetector,
@@ -16,11 +32,17 @@ from .latency import (
 )
 from .network import DEFAULT_MAX_EVENTS, SimulationError, Simulator
 from .process import IdleProcess, Process, ProcessContext
-from .scheduler import EventHandle, EventScheduler, SchedulerError
+from .scheduler import (
+    EventHandle,
+    EventScheduler,
+    KeyedEventScheduler,
+    SchedulerError,
+)
 
 __all__ = [
     "EventKind",
     "TraceEvent",
+    "PartitionEnvelope",
     "payload_size",
     "FailureDetectorPolicy",
     "PerfectFailureDetector",
@@ -38,6 +60,7 @@ __all__ = [
     "ProcessContext",
     "IdleProcess",
     "EventScheduler",
+    "KeyedEventScheduler",
     "EventHandle",
     "SchedulerError",
 ]

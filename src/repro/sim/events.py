@@ -98,6 +98,43 @@ class TraceEvent:
         return " ".join(parts)
 
 
+@dataclass(frozen=True)
+class PartitionEnvelope:
+    """A partition-crossing message of the partitioned simulator backend.
+
+    When a node owned by one partition sends to a node owned by another,
+    the sending partition computes the delivery exactly as the sequential
+    simulator would — same latency sample, same per-channel FIFO clamp,
+    same capture of the target's incarnation at send time — and wraps the
+    result in one of these instead of scheduling it locally.  Envelopes
+    are exchanged at the deterministic epoch barriers of
+    :mod:`repro.sim.partition` and injected into the destination
+    partition's keyed scheduler, where ``key`` (the genealogical order key
+    minted at the send site) slots the delivery into exactly the position
+    the sequential run's insertion order would have given it.
+
+    Envelopes must pickle: under the process backend they cross a real
+    process boundary.  Payloads are the protocol's own (frozen, value
+    semantic) message dataclasses, so a pickle round-trip preserves both
+    behaviour and the canonical trace encoding.
+    """
+
+    #: Absolute simulated delivery time (computed by the *sender*).
+    delivery_time: float
+    #: Genealogical order key of the delivery event (see partition.py).
+    key: tuple
+    #: Sending node (owned by the emitting partition).
+    source: NodeId
+    #: Destination node (owned by the receiving partition).
+    target: NodeId
+    #: The message object itself.
+    payload: Any
+    #: The target's incarnation as known at send time; the destination
+    #: drops the delivery if the target has since re-incarnated, exactly
+    #: like the sequential simulator's in-flight-message guard.
+    target_incarnation: int = 0
+
+
 def payload_size(payload: Any) -> int:
     """A deterministic byte-size estimate of a message payload.
 

@@ -206,7 +206,7 @@ class Simulator:
         """Crash ``node`` at absolute simulated time ``time``."""
         if node not in self.graph and node not in self._pending_joins:
             raise SimulationError(f"node {node!r} is not in the graph")
-        self._scheduler.schedule_at(time, lambda: self._crash(node))
+        self._schedule_event_at(time, lambda: self._crash(node))
 
     def schedule_crashes(self, crashes: Iterable[tuple[NodeId, float]]) -> None:
         """Schedule many ``(node, time)`` crashes."""
@@ -215,7 +215,7 @@ class Simulator:
 
     def schedule_call(self, time: float, callback: Callable[[], None]) -> None:
         """Schedule an arbitrary callback (used by scenario scripts)."""
-        self._scheduler.schedule_at(time, callback)
+        self._schedule_event_at(time, callback)
 
     # ------------------------------------------------------------------
     # Dynamic membership (churn) scheduling
@@ -231,7 +231,7 @@ class Simulator:
         if node in self.graph or node in self._pending_joins:
             raise SimulationError(f"node {node!r} is already part of the system")
         self._pending_joins.add(node)
-        self._scheduler.schedule_at(time, lambda: self._join(node, attachment))
+        self._schedule_event_at(time, lambda: self._join(node, attachment))
 
     def schedule_recover(
         self, node: NodeId, time: float, attachment: Any = None
@@ -245,13 +245,13 @@ class Simulator:
         """
         if node not in self.graph and node not in self._pending_joins:
             raise SimulationError(f"node {node!r} is not in the graph")
-        self._scheduler.schedule_at(time, lambda: self._recover(node, attachment))
+        self._schedule_event_at(time, lambda: self._recover(node, attachment))
 
     def schedule_leave(self, node: NodeId, time: float) -> None:
         """A live ``node`` leaves gracefully at ``time``."""
         if node not in self.graph and node not in self._pending_joins:
             raise SimulationError(f"node {node!r} is not in the graph")
-        self._scheduler.schedule_at(time, lambda: self._leave(node))
+        self._schedule_event_at(time, lambda: self._leave(node))
 
     # ------------------------------------------------------------------
     # Execution
@@ -329,6 +329,28 @@ class Simulator:
     # ------------------------------------------------------------------
     # Internal mechanics
     # ------------------------------------------------------------------
+    # Every internal scheduling action (except the message hot path, which
+    # the partitioned subclass overrides wholesale) funnels through these
+    # two hooks so that :class:`repro.sim.partition.PartitionSimulator`
+    # can stamp each event with a genealogical order key.  ``fanout``
+    # identifies replicated fan-out sites (crash notifications, membership
+    # announcements) whose sequential tie order is "sorted by target
+    # repr"; the base simulator ignores it.
+    def _schedule_event_at(
+        self, time: float, callback: Callable[[], None], fanout: Any = None
+    ) -> None:
+        self._scheduler.schedule_at(time, callback)
+
+    def _schedule_event_after(
+        self, delay: float, callback: Callable[[], None], fanout: Any = None
+    ) -> None:
+        self._scheduler.schedule(delay, callback)
+
+    def _delivers_to(self, node: NodeId) -> bool:
+        """Whether this simulator runs the handlers of ``node`` (always,
+        for the sequential simulator; an ownership test for partitions)."""
+        return True
+
     def _inc(self, node: NodeId) -> int:
         return self._incarnation.get(node, 0)
 
@@ -417,7 +439,9 @@ class Simulator:
             if target in self._crashed or target in self._departed:
                 self._schedule_notification(subscriber, target)
 
-    def _schedule_notification(self, subscriber: NodeId, crashed: NodeId) -> None:
+    def _schedule_notification(
+        self, subscriber: NodeId, crashed: NodeId, fanout: Any = None
+    ) -> None:
         key = (subscriber, crashed)
         if key in self._notification_scheduled:
             return
@@ -426,9 +450,10 @@ class Simulator:
         if delay < 0:
             raise SimulationError("failure detector produced a negative delay")
         subscriber_incarnation = self._inc(subscriber)
-        self._scheduler.schedule(
+        self._schedule_event_after(
             delay,
             lambda: self._notify_crash(subscriber, crashed, subscriber_incarnation),
+            fanout=fanout,
         )
 
     def _notify_crash(
@@ -453,7 +478,9 @@ class Simulator:
         if delay < 0:
             raise SimulationError("timer delay must be non-negative")
         incarnation = self._inc(node)
-        self._scheduler.schedule(delay, lambda: self._fire_timer(node, tag, incarnation))
+        self._schedule_event_after(
+            delay, lambda: self._fire_timer(node, tag, incarnation)
+        )
 
     def _fire_timer(self, node: NodeId, tag: Any, incarnation: int = 0) -> None:
         if node in self._crashed or node in self._departed:
@@ -472,7 +499,7 @@ class Simulator:
         self.trace.emit(self.now, EventKind.NODE_CRASHED, node=node)
         for subscriber in sorted(self._subscriptions.get(node, ()), key=repr):
             if subscriber not in self._crashed:
-                self._schedule_notification(subscriber, node)
+                self._schedule_notification(subscriber, node, fanout=subscriber)
 
     # ------------------------------------------------------------------
     # Membership mechanics (churn)
@@ -507,6 +534,22 @@ class Simulator:
         self._contexts[node] = _SimContext(self, node)
         return process
 
+    def _activate(self, node: NodeId) -> None:
+        """Spawn and start the fresh process of a joined/recovered node.
+
+        The partitioned subclass runs this only on the node's owning
+        partition; the trace order (NODE_JOINED/NODE_RECOVERED, then
+        NODE_STARTED, then the handler's own emissions) is part of the
+        determinism contract.
+        """
+        process = self._spawn_process(node)
+        self.trace.emit(self.now, EventKind.NODE_STARTED, node=node)
+        process.on_start(self._contexts[node])
+
+    def _admit(self, node: NodeId, neighbours: frozenset[NodeId]) -> None:
+        """Hook: a brand-new node is about to enter the graph (partition
+        ownership assignment); the sequential simulator needs nothing."""
+
     def _join(self, node: NodeId, attachment: Any) -> None:
         self._pending_joins.discard(node)
         if node in self.graph:
@@ -514,6 +557,7 @@ class Simulator:
         neighbours = self._resolve_attachment(node, attachment)
         if not neighbours:
             raise SimulationError(f"joining node {node!r} attaches to nothing")
+        self._admit(node, neighbours)
         self.graph = self.graph.with_node(node, neighbours)
         self._epoch += 1
         self._incarnation[node] = self._inc(node) + 1
@@ -524,9 +568,7 @@ class Simulator:
             payload=tuple(sorted(neighbours, key=repr)),
             epoch=self._epoch,
         )
-        process = self._spawn_process(node)
-        self.trace.emit(self.now, EventKind.NODE_STARTED, node=node)
-        process.on_start(self._contexts[node])
+        self._activate(node)
         self._announce(MembershipChange("join", node, neighbours, incarnation=self._inc(node)))
 
     def _recover(self, node: NodeId, attachment: Any) -> None:
@@ -570,9 +612,7 @@ class Simulator:
             payload=tuple(sorted(neighbours, key=repr)),
             epoch=self._epoch,
         )
-        process = self._spawn_process(node)
-        self.trace.emit(self.now, EventKind.NODE_STARTED, node=node)
-        process.on_start(self._contexts[node])
+        self._activate(node)
         self._announce(
             MembershipChange("recover", node, neighbours, incarnation=self._inc(node)),
             extra=old_watchers,
@@ -600,7 +640,7 @@ class Simulator:
         self.trace.emit(self.now, EventKind.NODE_LEFT, node=node)
         for subscriber in sorted(self._subscriptions.get(node, ()), key=repr):
             if subscriber not in self._crashed and subscriber not in self._departed:
-                self._schedule_notification(subscriber, node)
+                self._schedule_notification(subscriber, node, fanout=subscriber)
 
     def _announce(
         self, change: MembershipChange, extra: frozenset[NodeId] = frozenset()
@@ -620,13 +660,20 @@ class Simulator:
         for target in sorted(targets, key=repr):
             if target == change.node or target in self._crashed or target in self._departed:
                 continue
+            if not self._delivers_to(target):
+                # A partition announces only to the targets it runs; the
+                # other partitions replay the same membership event and
+                # announce to theirs, so the union over partitions is
+                # exactly this loop's sequential target set.
+                continue
             delay = self.failure_detector.delay(target, change.node, self._rng)
             if delay < 0:
                 raise SimulationError("failure detector produced a negative delay")
             incarnation = self._inc(target)
-            self._scheduler.schedule(
+            self._schedule_event_after(
                 delay,
                 lambda t=target, i=incarnation: self._notify_membership(t, i, change),
+                fanout=target,
             )
 
     def _notify_membership(

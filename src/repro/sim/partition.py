@@ -1,0 +1,964 @@
+"""Partitioned parallel event scheduling for one large simulation run.
+
+The sweep engine (:mod:`repro.scale`) shards across *runs*; this module
+shards *inside* a run.  The knowledge graph is split into locality-aware
+shards (:func:`partition_graph`), each shard gets its own
+:class:`PartitionSimulator` with a keyed event scheduler running on a
+worker (an OS process, or inline in the calling process), and the workers
+exchange partition-crossing messages (:class:`~repro.sim.events.PartitionEnvelope`)
+at deterministic epoch barriers.  The merged trace is **bit-identical**
+to the sequential :class:`~repro.sim.network.Simulator` run of the same
+scenario — the canonical trace digest is the equivalence oracle, exactly
+as it is for the sweep engine.
+
+Determinism invariants
+----------------------
+The backend reproduces the sequential run, not merely "a" correct run:
+
+* **Genealogical order keys.**  The sequential scheduler breaks timestamp
+  ties by global insertion order, which no single partition can observe.
+  Every scheduled event therefore carries a nested *order key* encoding
+  where in the sequential run its scheduling action would have happened:
+  ``(0, n)`` for the n-th pre-start setup action (schedule replay is
+  replicated, so ``n`` agrees everywhere), ``(1, rank, i)`` for the i-th
+  action of node ``rank``'s ``on_start`` (ranks are global sorted-by-repr
+  positions), and ``(2, parent_time, parent_key, child)`` for actions
+  taken while an event executes — ``child`` is ``(0, counter)`` for a
+  handler's own actions and ``(1, repr(target))`` for replicated fan-outs
+  (crash notifications, membership announcements), whose sequential tie
+  order is "sorted by target repr".  Lexicographic order over these keys
+  equals the sequential insertion order among equal-time events, by
+  induction over the event genealogy.
+* **Replicated control plane.**  Crashes, joins, recoveries and leaves
+  are statically scheduled, so every partition replays *all* of them,
+  keeping graph snapshots, incarnations, membership epochs and the seeded
+  RNG in lockstep (attachment policies are the only RNG consumers; the
+  latency and failure-detector models must be RNG-free, which is
+  validated up front).  Handlers, subscriptions and trace emissions are
+  filtered to each partition's owned nodes; the union over partitions is
+  exactly the sequential run.
+* **Conservative barriers.**  Only point-to-point messages cross
+  partitions.  An epoch window ``[s, s + lookahead)`` with ``lookahead =``
+  the minimum cross-partition latency guarantees every envelope sent in a
+  window is delivered at or after the next barrier, so no partition ever
+  simulates past an input it has not yet received.  Windows hop to the
+  next globally pending timestamp, so idle stretches cost one barrier.
+* **Deterministic merge.**  Each emission is annotated with a merge key
+  (start-phase: ``(1, rank, i)``; runtime: ``(2, time, event_key, i)``);
+  per-partition logs are already sorted, and a k-way merge reconstructs
+  the sequential trace byte-for-byte.
+
+The determinism suite (``tests/integration/test_partitioned_determinism``)
+pins ``partitions=N`` digest-equality against the sequential simulator
+for static, mid-epoch-crash and steady-churn workloads.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import os
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from ..api.result import DecisionResultMixin, json_safe
+from ..graph import KnowledgeGraph, NodeId
+from ..trace import TraceRecorder
+from .events import EventKind, PartitionEnvelope, TraceEvent
+from .failure_detector import (
+    FailureDetectorPolicy,
+    PerfectFailureDetector,
+    ScriptedFailureDetector,
+)
+from .latency import ConstantLatency, LatencyModel, PerPairLatency
+from .network import DEFAULT_MAX_EVENTS, SimulationError, Simulator, _FIFO_EPSILON
+from .scheduler import KeyedEventScheduler
+
+
+class PartitionError(SimulationError):
+    """Raised on partitioned-backend misuse or contract violations."""
+
+
+# ---------------------------------------------------------------------------
+# Graph partitioning
+# ---------------------------------------------------------------------------
+def partition_graph(
+    graph: KnowledgeGraph, count: int
+) -> tuple[frozenset[NodeId], ...]:
+    """Split ``graph`` into ``count`` balanced, locality-aware shards.
+
+    Deterministic: seeds are chosen by farthest-point sampling (BFS
+    distance, ties by ``repr``), then grown breadth-first with the
+    smallest shard claiming next, so sizes stay within a few nodes of
+    each other and shards are contiguous wherever the graph allows.
+    Nodes unreachable from every seed (disconnected leftovers) are dealt
+    round-robin to the smallest shards in ``repr`` order.
+    """
+    if count < 1:
+        raise PartitionError(f"partition count must be >= 1, got {count}")
+    nodes = sorted(graph.nodes, key=repr)
+    if count > len(nodes):
+        raise PartitionError(
+            f"cannot split {len(nodes)} nodes into {count} partitions"
+        )
+    if count == 1:
+        return (frozenset(nodes),)
+
+    def bfs_distances(sources: list[NodeId]) -> dict[NodeId, int]:
+        dist = {source: 0 for source in sources}
+        frontier = deque(sources)
+        while frontier:
+            current = frontier.popleft()
+            for neighbour in sorted(graph.neighbours(current), key=repr):
+                if neighbour not in dist:
+                    dist[neighbour] = dist[current] + 1
+                    frontier.append(neighbour)
+        return dist
+
+    seeds = [nodes[0]]
+    while len(seeds) < count:
+        dist = bfs_distances(seeds)
+        best = None
+        best_distance = -1.0
+        for node in nodes:
+            if node in seeds:
+                continue
+            node_distance = dist.get(node, math.inf)
+            if node_distance > best_distance:
+                best = node
+                best_distance = node_distance
+        assert best is not None
+        seeds.append(best)
+
+    owner: dict[NodeId, int] = {seed: index for index, seed in enumerate(seeds)}
+    frontiers = [deque([seed]) for seed in seeds]
+    sizes = [1] * count
+    remaining = len(nodes) - count
+    while remaining:
+        # The smallest shard claims next, so sizes stay within one node of
+        # each other as long as the frontiers allow.
+        claimed = False
+        for index in sorted(range(count), key=lambda i: (sizes[i], i)):
+            frontier = frontiers[index]
+            while frontier:
+                head = frontier[0]
+                free = [
+                    neighbour
+                    for neighbour in graph.neighbours(head)
+                    if neighbour not in owner
+                ]
+                if free:
+                    claim = min(free, key=repr)
+                    owner[claim] = index
+                    frontier.append(claim)
+                    sizes[index] += 1
+                    remaining -= 1
+                    claimed = True
+                    break
+                frontier.popleft()
+            if claimed:
+                break
+        if not claimed:
+            # Disconnected leftovers: deal them to the smallest shards.
+            for node in nodes:
+                if node not in owner:
+                    smallest = min(range(count), key=lambda i: (sizes[i], i))
+                    owner[node] = smallest
+                    sizes[smallest] += 1
+                    remaining -= 1
+            break
+    shards: list[set[NodeId]] = [set() for _ in range(count)]
+    for node, index in owner.items():
+        shards[index].add(node)
+    return tuple(frozenset(shard) for shard in shards)
+
+
+def _cross_lookahead(latency: LatencyModel) -> float:
+    """The guaranteed minimum delay of any partition-crossing message.
+
+    Only RNG-free latency models are admissible: a random draw at a send
+    site would consume the shared seeded stream in partition-dependent
+    order and break the lockstep-RNG invariant (and a zero-lookahead
+    model would break the barrier protocol).
+    """
+    if isinstance(latency, ConstantLatency):
+        return latency.delay
+    if isinstance(latency, PerPairLatency):
+        return min([latency.default] + [delay for _, delay in latency.pairs])
+    raise PartitionError(
+        "partitioned runs need a deterministic latency model "
+        f"(constant or per-pair), got {type(latency).__name__}"
+    )
+
+
+def _check_failure_detector(policy: FailureDetectorPolicy) -> None:
+    if isinstance(policy, (PerfectFailureDetector, ScriptedFailureDetector)):
+        return
+    raise PartitionError(
+        "partitioned runs need a deterministic failure detector "
+        f"(perfect or scripted), got {type(policy).__name__}"
+    )
+
+
+def _fork_context():
+    """The ``fork`` multiprocessing context, or ``None`` where unsupported.
+
+    Process workers must inherit the parent's hash seed: canonical
+    container layout makes iteration order a function of (value, hash
+    seed), and a ``spawn``/``forkserver`` child re-randomises the seed —
+    string node ids would then fold borders and opinion vectors in a
+    different observable order than the sequential run, breaking the
+    digest contract.  ``fork`` children share the parent's seed.
+    """
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The per-partition simulator
+# ---------------------------------------------------------------------------
+class _PartitionTraceRecorder(TraceRecorder):
+    """Filters emissions to owned nodes and annotates them with merge keys.
+
+    Events land only in the simulator's annotated ``(key, event)`` log —
+    the coordinator merges those into the result trace, so the recorder's
+    own event list is deliberately left empty (one append per event
+    instead of two, on the hottest path of the run).
+    """
+
+    def __init__(self, sim: "PartitionSimulator") -> None:
+        super().__init__()
+        self._sim = sim
+
+    def record(self, event: TraceEvent) -> None:
+        key = self._sim._emit_key(event)
+        if key is not None:
+            self._sim._annotated.append((key, event))
+
+
+class PartitionSimulator(Simulator):
+    """One shard of a partitioned run.
+
+    Replays the *whole* control plane (crashes, membership, graph
+    snapshots) but installs processes, delivers events and records trace
+    emissions only for its owned nodes.  Driven window-by-window by a
+    coordinator (never via :meth:`run`), with cross-partition sends
+    diverted into an envelope outbox.
+    """
+
+    # Simulator declares __slots__; the subclass adds its own state.
+    __slots__ = (
+        "_owned",
+        "_owner_of",
+        "_pid",
+        "_setup_counter",
+        "_ctx_key",
+        "_ctx_time",
+        "_ctx_children",
+        "_ctx_emits",
+        "_start_rank",
+        "_start_actions",
+        "_start_emits",
+        "_outbox",
+        "_annotated",
+    )
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        shards: tuple[frozenset[NodeId], ...],
+        pid: int,
+        latency: LatencyModel | None = None,
+        failure_detector: FailureDetectorPolicy | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            graph,
+            latency=latency,
+            failure_detector=failure_detector,
+            seed=seed,
+            scheduler=KeyedEventScheduler(),
+        )
+        self._scheduler.context = self  # type: ignore[attr-defined]
+        _check_failure_detector(self.failure_detector)
+        _cross_lookahead(self.latency)
+        self._owned = frozenset(shards[pid])
+        self._owner_of = {
+            node: index for index, shard in enumerate(shards) for node in shard
+        }
+        if self.graph.nodes - self._owner_of.keys():
+            raise PartitionError("shards must cover every graph node")
+        self._pid = pid
+        self._setup_counter = 0
+        #: Order key of the currently executing event (None between events).
+        self._ctx_key: Optional[tuple] = None
+        self._ctx_time = 0.0
+        self._ctx_children = 0
+        self._ctx_emits = 0
+        #: Global rank of the node whose on_start is running (start phase).
+        self._start_rank: Optional[int] = None
+        self._start_actions = 0
+        self._start_emits = 0
+        self._outbox: list[PartitionEnvelope] = []
+        #: ``(merge_key, event)`` pairs, appended in execution order —
+        #: already sorted, by construction of the keys.
+        self._annotated: list[tuple[tuple, TraceEvent]] = []
+        self.trace = _PartitionTraceRecorder(self)
+
+    # -- ownership -----------------------------------------------------
+    @property
+    def owned_nodes(self) -> frozenset[NodeId]:
+        return self._owned
+
+    def owner_of(self, node: NodeId) -> int:
+        return self._owner_of[node]
+
+    def _delivers_to(self, node: NodeId) -> bool:
+        return node in self._owned
+
+    # -- order keys ----------------------------------------------------
+    def _mint_key(self, fanout: Any) -> tuple:
+        if self._ctx_key is not None:
+            if fanout is None:
+                child = (0, self._ctx_children)
+                self._ctx_children += 1
+            else:
+                child = (1, repr(fanout))
+            return (2, self._ctx_time, self._ctx_key, child)
+        if self._start_rank is not None:
+            index = self._start_actions
+            self._start_actions += 1
+            return (1, self._start_rank, index)
+        index = self._setup_counter
+        self._setup_counter += 1
+        return (0, index)
+
+    def _emit_key(self, event: TraceEvent) -> Optional[tuple]:
+        node = event.node
+        if node is None:
+            raise PartitionError(
+                "partitioned runs cannot attribute a node-less trace event"
+            )
+        if node not in self._owned:
+            return None
+        if self._ctx_key is not None:
+            index = self._ctx_emits
+            self._ctx_emits += 1
+            return (2, self._ctx_time, self._ctx_key, index)
+        if self._start_rank is not None:
+            index = self._start_emits
+            self._start_emits += 1
+            return (1, self._start_rank, index)
+        raise PartitionError("trace emission outside any event context")
+
+    def _schedule_keyed(self, time: float, key: tuple, callback) -> None:
+        # The scheduler's run_window() installs (time, key) as this
+        # simulator's event context before invoking the raw callback, so
+        # no per-event wrapper closure is needed.
+        self._scheduler.schedule_keyed(time, key, callback)  # type: ignore[attr-defined]
+
+    # -- scheduling hooks ----------------------------------------------
+    def _schedule_event_at(self, time, callback, fanout=None) -> None:
+        self._schedule_keyed(time, self._mint_key(fanout), callback)
+
+    def _schedule_event_after(self, delay, callback, fanout=None) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._schedule_event_at(self._scheduler.now + delay, callback, fanout)
+
+    # -- configuration and start ---------------------------------------
+    def populate(self, factory) -> None:
+        """Install ``factory(node)`` on every *owned* node."""
+        self._process_factory = factory
+        for node in self.graph.nodes:
+            if node in self._owned and node not in self._processes:
+                self.add_process(node, factory(node))
+
+    def start(self) -> None:
+        """Deliver ``init`` to owned processes, in global rank order.
+
+        Ranks are positions in the repr-sorted full node list, so the
+        merged start-phase emissions interleave exactly as the sequential
+        ``start()`` (which iterates all nodes in that order) produced them.
+        """
+        if self._started:
+            raise SimulationError("start() called twice")
+        missing = self._owned - self._processes.keys()
+        if missing:
+            raise SimulationError(
+                f"{len(missing)} owned nodes have no process installed; "
+                "call populate() before start()"
+            )
+        self._started = True
+        for rank, node in enumerate(sorted(self.graph.nodes, key=repr)):
+            if node not in self._owned:
+                continue
+            self._start_rank = rank
+            self._start_actions = 0
+            self._start_emits = 0
+            self.trace.emit(self.now, EventKind.NODE_STARTED, node=node)
+            self._processes[node].on_start(self._contexts[node])
+        self._start_rank = None
+
+    def run(self, until=None, max_events=DEFAULT_MAX_EVENTS):
+        raise PartitionError(
+            "a PartitionSimulator is driven window-by-window by its "
+            "coordinator; use run_partitioned()"
+        )
+
+    def schedule_call(self, time, callback) -> None:
+        raise PartitionError(
+            "scripted scenario callbacks cannot be replicated across "
+            "partitions; use the sequential simulator"
+        )
+
+    # -- membership hooks ----------------------------------------------
+    def _admit(self, node: NodeId, neighbours: frozenset[NodeId]) -> None:
+        # A joiner is owned by the partition owning its first (repr-order)
+        # neighbour — every partition replays the join and computes the
+        # same assignment.  Ownership must be claimed before the join's
+        # NODE_JOINED emission, which only the owner records.
+        if node not in self._owner_of:
+            anchor = min(neighbours, key=repr)
+            owner = self._owner_of[anchor]
+            self._owner_of[node] = owner
+            if owner == self._pid:
+                self._owned = self._owned | {node}
+
+    def _activate(self, node: NodeId) -> None:
+        if node in self._owned:
+            super()._activate(node)
+
+    def _spawn_process(self, node: NodeId):
+        if self._owner_of.get(node) != self._pid:
+            raise PartitionError(f"cannot spawn a process for foreign node {node!r}")
+        return super()._spawn_process(node)
+
+    # -- the message hot path ------------------------------------------
+    def _send(self, source: NodeId, target: NodeId, message: Any) -> None:
+        # Mirrors Simulator._send exactly, with one extra branch: a
+        # foreign target turns the (identically computed) delivery into an
+        # outbox envelope instead of a local scheduling.
+        if target not in self.graph:
+            raise SimulationError(f"message addressed to unknown node {target!r}")
+        if source in self._crashed or source in self._departed:
+            return
+        scheduler = self._scheduler
+        now = scheduler.now
+        self.trace.emit(
+            now, EventKind.MESSAGE_SENT, node=source, peer=target, payload=message
+        )
+        delay = self.latency.sample(source, target, self._rng)
+        if delay <= 0:
+            raise SimulationError("latency model produced a non-positive delay")
+        channel = (source, target)
+        channel_clock = self._channel_clock
+        earliest = channel_clock.get(channel, 0.0) + _FIFO_EPSILON
+        delivery_time = now + delay
+        if delivery_time < earliest:
+            delivery_time = earliest
+        channel_clock[channel] = delivery_time
+        target_incarnation = self._incarnation.get(target, 0)
+        key = self._mint_key(None)
+        if self._owner_of[target] == self._pid:
+            self._schedule_keyed(
+                delivery_time,
+                key,
+                lambda: self._deliver(source, target, message, target_incarnation),
+            )
+        else:
+            self._outbox.append(
+                PartitionEnvelope(
+                    delivery_time=delivery_time,
+                    key=key,
+                    source=source,
+                    target=target,
+                    payload=message,
+                    target_incarnation=target_incarnation,
+                )
+            )
+
+    # -- the barrier surface -------------------------------------------
+    def inject(self, envelopes: Iterable[PartitionEnvelope]) -> None:
+        """Schedule deliveries received from other partitions."""
+        for envelope in envelopes:
+            if self._owner_of.get(envelope.target) != self._pid:
+                raise PartitionError(
+                    f"envelope for foreign node {envelope.target!r} "
+                    f"routed to partition {self._pid}"
+                )
+            self._schedule_keyed(
+                envelope.delivery_time,
+                envelope.key,
+                lambda e=envelope: self._deliver(
+                    e.source, e.target, e.payload, e.target_incarnation
+                ),
+            )
+
+    def drain_outbox(self) -> dict[int, list[PartitionEnvelope]]:
+        """Envelopes produced since the last barrier, grouped by owner."""
+        routed: dict[int, list[PartitionEnvelope]] = {}
+        for envelope in self._outbox:
+            routed.setdefault(self._owner_of[envelope.target], []).append(envelope)
+        self._outbox = []
+        return routed
+
+    def run_window(
+        self, end: float, until: Optional[float], budget: int
+    ) -> int:
+        """Execute the window ``[now, end)`` (clamped inclusively at
+        ``until``); returns the number of events executed."""
+        scheduler = self._scheduler
+        if until is not None and end > until:
+            executed = scheduler.run_window(until, inclusive=True, max_events=budget)  # type: ignore[attr-defined]
+        else:
+            executed = scheduler.run_window(end, max_events=budget)  # type: ignore[attr-defined]
+        if executed >= budget and not scheduler.is_idle():
+            raise PartitionError(
+                f"partition {self._pid} exceeded its max_events budget; "
+                "partitioned runs must run to quiescence (or an explicit "
+                "'until') to preserve the determinism contract"
+            )
+        return executed
+
+    def next_event_time(self) -> Optional[float]:
+        return self._scheduler.next_event_time()
+
+    def annotated_events(self) -> list[tuple[tuple, TraceEvent]]:
+        return self._annotated
+
+
+# ---------------------------------------------------------------------------
+# Workers
+# ---------------------------------------------------------------------------
+@dataclass
+class _WorkerConfig:
+    """Everything a worker needs to rebuild its shard (picklable)."""
+
+    pid: int
+    shards: tuple[frozenset[NodeId], ...]
+    graph: KnowledgeGraph
+    schedule: Any
+    membership: Any
+    latency: Optional[LatencyModel]
+    failure_detector: Optional[FailureDetectorPolicy]
+    seed: int
+    arbitration_enabled: bool
+    early_termination: bool
+    max_events: int
+    until: Optional[float]
+
+
+def _build_partition(config: _WorkerConfig) -> PartitionSimulator:
+    from ..core import CliffEdgeNode
+
+    sim = PartitionSimulator(
+        config.graph,
+        config.shards,
+        config.pid,
+        latency=config.latency,
+        failure_detector=config.failure_detector,
+        seed=config.seed,
+    )
+    sim.populate(
+        lambda node_id: CliffEdgeNode(
+            node_id,
+            arbitration_enabled=config.arbitration_enabled,
+            early_termination=config.early_termination,
+        )
+    )
+    if config.membership is None:
+        config.schedule.applied_to(sim)
+    else:
+        config.membership.applied_to(sim, crashes=config.schedule)
+    sim.start()
+    return sim
+
+
+class _InlineWorker:
+    """Runs a shard in the calling process (tests, single-CPU hosts)."""
+
+    def __init__(self, config: _WorkerConfig) -> None:
+        self._config = config
+        self._sim = _build_partition(config)
+        self._executed = 0
+        self._reply: Any = None
+        self.next_time = self._sim.next_event_time()
+
+    def begin(self, end: float, envelopes: list[PartitionEnvelope]) -> None:
+        self._sim.inject(envelopes)
+        budget = self._config.max_events - self._executed
+        self._executed += self._sim.run_window(end, self._config.until, budget)
+        self._reply = (self._sim.drain_outbox(), self._sim.next_event_time())
+
+    def collect(self) -> dict[int, list[PartitionEnvelope]]:
+        outbox, self.next_time = self._reply
+        return outbox
+
+    def finish(self) -> dict[str, Any]:
+        return {
+            "annotated": self._sim.annotated_events(),
+            "idle": self._sim.is_quiescent(),
+            "processed": self._executed,
+            "graph": self._sim.graph,
+        }
+
+    def close(self) -> None:
+        pass
+
+
+def _process_worker_main(connection, config: _WorkerConfig) -> None:
+    """Entry point of a partition worker process."""
+    try:
+        sim = _build_partition(config)
+        executed = 0
+        connection.send(("ready", sim.next_event_time()))
+        while True:
+            message = connection.recv()
+            if message[0] == "finish":
+                connection.send(
+                    (
+                        "result",
+                        {
+                            "annotated": sim.annotated_events(),
+                            "idle": sim.is_quiescent(),
+                            "processed": executed,
+                            "graph": sim.graph,
+                        },
+                    )
+                )
+                return
+            _tag, end, envelopes = message
+            sim.inject(envelopes)
+            executed += sim.run_window(end, config.until, config.max_events - executed)
+            connection.send(("barrier", sim.drain_outbox(), sim.next_event_time()))
+    except BaseException:  # noqa: BLE001 - forwarded to the coordinator
+        import traceback
+
+        try:
+            connection.send(("error", traceback.format_exc()))
+        except OSError:
+            pass
+    finally:
+        connection.close()
+
+
+class _ProcessWorker:
+    """Runs a shard in a child process, talking over a duplex pipe."""
+
+    def __init__(self, config: _WorkerConfig, mp_context) -> None:
+        self._parent_conn, child_conn = mp_context.Pipe(duplex=True)
+        self._process = mp_context.Process(
+            target=_process_worker_main,
+            args=(child_conn, config),
+            daemon=True,
+            name=f"repro-partition-{config.pid}",
+        )
+        self._process.start()
+        child_conn.close()
+        self.next_time = self._recv("ready")
+
+    def _recv(self, expected: str):
+        try:
+            message = self._parent_conn.recv()
+        except EOFError:
+            raise PartitionError(
+                f"partition worker {self._process.name} died unexpectedly"
+            ) from None
+        if message[0] == "error":
+            raise PartitionError(
+                f"partition worker {self._process.name} failed:\n{message[1]}"
+            )
+        if message[0] != expected:
+            raise PartitionError(
+                f"unexpected {message[0]!r} reply from {self._process.name}"
+            )
+        return message[1:] if len(message) > 2 else message[1]
+
+    def begin(self, end: float, envelopes: list[PartitionEnvelope]) -> None:
+        self._parent_conn.send(("window", end, envelopes))
+
+    def collect(self) -> dict[int, list[PartitionEnvelope]]:
+        outbox, self.next_time = self._recv("barrier")
+        return outbox
+
+    def finish(self) -> dict[str, Any]:
+        self._parent_conn.send(("finish",))
+        return self._recv("result")
+
+    def close(self) -> None:
+        try:
+            self._parent_conn.close()
+        except OSError:
+            pass
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# The coordinator
+# ---------------------------------------------------------------------------
+def _drive_barriers(
+    workers: list, lookahead: float, until: Optional[float]
+) -> tuple[int, bool]:
+    """Run the epoch-barrier protocol to global quiescence (or ``until``).
+
+    Returns ``(barrier_rounds, drained)``; ``drained`` is False when the
+    loop stopped because every remaining event lies beyond ``until``.
+    """
+    pending: dict[int, list[PartitionEnvelope]] = {}
+    rounds = 0
+    while True:
+        times = [w.next_time for w in workers if w.next_time is not None]
+        times.extend(
+            envelope.delivery_time
+            for envelopes in pending.values()
+            for envelope in envelopes
+        )
+        if not times:
+            return rounds, True
+        start = min(times)
+        if until is not None and start > until:
+            return rounds, False
+        end = start + lookahead
+        for index, worker in enumerate(workers):
+            worker.begin(end, pending.pop(index, []))
+        for worker in workers:
+            for destination, envelopes in worker.collect().items():
+                pending.setdefault(destination, []).extend(envelopes)
+        rounds += 1
+
+
+def _merge_traces(results: list[dict[str, Any]]) -> TraceRecorder:
+    """K-way merge of the per-partition annotated logs (already sorted)."""
+    trace = TraceRecorder()
+    merged = heapq.merge(
+        *(result["annotated"] for result in results), key=lambda pair: pair[0]
+    )
+    trace.extend(event for _key, event in merged)
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+@dataclass
+class PartitionedRunResult(DecisionResultMixin):
+    """Outcome of a partitioned static run.
+
+    Mirrors :class:`~repro.experiments.runner.RunResult` (same
+    :class:`~repro.api.Result` surface, same trace digest as the
+    sequential run) without holding a live simulator — the partitions ran
+    on workers and are gone.
+    """
+
+    graph: KnowledgeGraph
+    schedule: Any
+    trace: TraceRecorder
+    metrics: Any
+    decisions: list
+    partitions: int
+    barrier_rounds: int
+    quiescent: bool = True
+    specification: Optional[Any] = None
+    labels: dict[str, Any] = field(default_factory=dict)
+
+    def check_specification(self, include_liveness: bool = True):
+        from ..core.properties import check_all
+
+        self.specification = check_all(
+            self.graph,
+            self.trace,
+            faulty=self.schedule.nodes,
+            include_liveness=include_liveness,
+        )
+        return self.specification
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "type": "run",
+            "nodes": len(self.graph),
+            "edges": self.graph.edge_count,
+            "crashed": json_safe(self.schedule.nodes),
+            "quiescent": self.quiescent,
+            "partitions": self.partitions,
+            "barrier_rounds": self.barrier_rounds,
+            "metrics": json_safe(self.metrics),
+            "decisions": self._decisions_as_dicts(),
+            "decided_views": json_safe(self.decided_views),
+            "specification": self._specification_as_dict(),
+            "digest": self.digest(),
+            "labels": json_safe(self.labels),
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"nodes={len(self.graph)} edges={self.graph.edge_count} "
+            f"crashed={len(self.schedule.nodes)} "
+            f"partitions={self.partitions} barriers={self.barrier_rounds}",
+            f"messages={self.metrics.messages_sent} "
+            f"bytes={self.metrics.bytes_sent} "
+            f"speaking_nodes={self.metrics.speaking_nodes}",
+            f"decisions={self.metrics.decisions} "
+            f"views={self.metrics.decided_views} "
+            f"rejections={self.metrics.rejections} "
+            f"failed_instances={self.metrics.failed_instances}",
+        ]
+        for view in sorted(self.decided_views, key=lambda v: sorted(map(repr, v.members))):
+            deciders = sorted(repr(d.node) for d in self.decisions_on(view))
+            members = sorted(map(repr, view.members))
+            lines.append(f"view {members} decided by {deciders}")
+        if self.specification is not None:
+            status = "holds" if self.specification.holds else "VIOLATED"
+            lines.append(f"specification CD1-CD7: {status}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+def run_partitioned(
+    graph: KnowledgeGraph,
+    schedule,
+    membership=None,
+    *,
+    partitions: int,
+    latency: Optional[LatencyModel] = None,
+    failure_detector: Optional[FailureDetectorPolicy] = None,
+    seed: int = 0,
+    arbitration_enabled: bool = True,
+    early_termination: bool = False,
+    check: bool = False,
+    max_events: int = DEFAULT_MAX_EVENTS,
+    until: Optional[float] = None,
+    backend: str = "auto",
+):
+    """Run one scenario on the partitioned backend.
+
+    Digest-identical to :func:`~repro.experiments.runner.run_cliff_edge`
+    (static) or :func:`~repro.churn.runner.run_churn` (with a
+    ``membership`` schedule) for the same inputs, at any partition count.
+
+    ``backend`` selects where shards run: ``"process"`` (one OS process
+    per shard — the parallel path), ``"inline"`` (all shards in the
+    calling process — no parallelism, but no multiprocessing overhead
+    either; what the determinism tests use), or ``"auto"`` (processes
+    when the host has more than one CPU and more than one shard).
+    """
+    from ..trace import collect_metrics
+    from ..core.properties import extract_decisions
+
+    if backend not in ("auto", "inline", "process"):
+        raise PartitionError(f"unknown partition backend {backend!r}")
+    schedule.validate(graph)
+    if membership is not None and membership.events:
+        membership.validate(graph, schedule)
+    else:
+        membership = None
+    shards = partition_graph(graph, partitions)
+    effective_latency = latency if latency is not None else ConstantLatency(1.0)
+    effective_detector = (
+        failure_detector if failure_detector is not None else PerfectFailureDetector(1.0)
+    )
+    _check_failure_detector(effective_detector)
+    lookahead = _cross_lookahead(effective_latency)
+    if backend == "auto":
+        import multiprocessing
+
+        # Stay inline inside any child process (a partitioned spec inside
+        # a sweep's pool workers would otherwise fork partitions-per-task
+        # extra processes and oversubscribe the host), on single-CPU
+        # hosts, and where the fork start method is unavailable.  The
+        # digests are backend-independent, so inline is always a safe
+        # substitute.
+        in_child = (
+            multiprocessing.parent_process() is not None
+            or multiprocessing.current_process().daemon
+        )
+        backend = (
+            "process"
+            if partitions > 1
+            and not in_child
+            and (os.cpu_count() or 1) > 1
+            and _fork_context() is not None
+            else "inline"
+        )
+    configs = [
+        _WorkerConfig(
+            pid=pid,
+            shards=shards,
+            graph=graph,
+            schedule=schedule,
+            membership=membership,
+            latency=effective_latency,
+            failure_detector=effective_detector,
+            seed=seed,
+            arbitration_enabled=arbitration_enabled,
+            early_termination=early_termination,
+            max_events=max_events,
+            until=until,
+        )
+        for pid in range(partitions)
+    ]
+    workers: list = []
+    try:
+        if backend == "process":
+            mp_context = _fork_context()
+            if mp_context is None:
+                raise PartitionError(
+                    "the process backend needs the 'fork' start method "
+                    "(workers must inherit the parent's hash seed); use "
+                    "backend='inline' on this platform"
+                )
+            workers = [_ProcessWorker(config, mp_context) for config in configs]
+        else:
+            workers = [_InlineWorker(config) for config in configs]
+        rounds, drained = _drive_barriers(workers, lookahead, until)
+        results = [worker.finish() for worker in workers]
+    finally:
+        for worker in workers:
+            worker.close()
+
+    trace = _merge_traces(results)
+    quiescent = drained and all(result["idle"] for result in results)
+    labels = {"partitions": partitions, "partition_backend": backend}
+    if membership is not None:
+        from ..churn.epochs import build_epochs
+        from ..churn.runner import ChurnRunResult
+
+        result = ChurnRunResult(
+            base_graph=graph,
+            final_graph=results[0]["graph"],
+            schedule=schedule,
+            membership=membership,
+            trace=trace,
+            metrics=collect_metrics(trace),
+            decisions=extract_decisions(trace),
+            epochs=build_epochs(graph, trace),
+            runtime="sim",
+            quiescent=quiescent,
+            labels=labels,
+        )
+        if check:
+            result.check_specification(include_liveness=quiescent)
+        return result
+    run_result = PartitionedRunResult(
+        graph=graph,
+        schedule=schedule,
+        trace=trace,
+        metrics=collect_metrics(trace),
+        decisions=extract_decisions(trace),
+        partitions=partitions,
+        barrier_rounds=rounds,
+        quiescent=quiescent,
+        labels=labels,
+    )
+    if check:
+        run_result.check_specification(include_liveness=quiescent)
+    return run_result

@@ -246,3 +246,58 @@ class TestSpecLayerCommands:
         out = _Capture()
         assert main(["sweep", "--spec", str(spec_file)], write=out) == 2
         assert "expected a sweep spec" in out.text
+
+
+class TestPartitionsFlag:
+    def test_run_partitions_matches_sequential_digest(self, tmp_path):
+        emitted = _Capture()
+        main(["quickstart", "--emit-spec"], write=emitted)
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(emitted.text)
+        sequential = _Capture()
+        assert main(["run", str(spec_file), "--json"], write=sequential) == 0
+        partitioned = _Capture()
+        assert (
+            main(["run", str(spec_file), "--partitions", "3", "--json"], write=partitioned)
+            == 0
+        )
+        sequential_payload = json.loads(sequential.text)
+        partitioned_payload = json.loads(partitioned.text)
+        assert partitioned_payload["digest"] == sequential_payload["digest"]
+        assert partitioned_payload["partitions"] == 3
+
+    def test_run_partitions_rejected_for_sweep_documents(self, tmp_path):
+        emitted = _Capture()
+        main(["sweep", "--cases", "2", "--emit-spec"], write=emitted)
+        spec_file = tmp_path / "sweep.json"
+        spec_file.write_text(emitted.text)
+        out = _Capture()
+        assert main(["run", str(spec_file), "--partitions", "2"], write=out) == 2
+        assert "single experiments" in out.text
+
+    def test_run_partitions_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "spec.json", "--partitions", "0"])
+
+
+class TestVersion:
+    def test_version_flag_prints_pyproject_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"], write=_Capture())
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_dunder_version_matches_pyproject(self):
+        # tomllib is 3.11+; on 3.10 the package falls back to installed
+        # metadata, which this assertion cannot pin from the source tree.
+        tomllib = pytest.importorskip("tomllib")
+        from pathlib import Path
+
+        import repro
+
+        pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+        with pyproject.open("rb") as handle:
+            expected = tomllib.load(handle)["project"]["version"]
+        assert repro.__version__ == expected

@@ -1,0 +1,183 @@
+"""Unit tests for the partitioned-backend building blocks.
+
+The end-to-end digest contract lives in
+``tests/integration/test_partitioned_determinism.py``; this module covers
+the pieces in isolation: the graph partitioner, the keyed scheduler, the
+window runner, and the envelope/validation surfaces.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.graph.generators import grid, line, torus
+from repro.sim import PartitionEnvelope
+from repro.sim.latency import ConstantLatency, PerPairLatency
+from repro.sim.partition import (
+    PartitionError,
+    _cross_lookahead,
+    partition_graph,
+)
+from repro.sim.scheduler import (
+    EventScheduler,
+    KeyedEventScheduler,
+    SchedulerError,
+)
+
+
+class TestPartitionGraph:
+    def test_shards_cover_and_do_not_overlap(self):
+        graph = torus(8, 8)
+        for count in (1, 2, 3, 4, 7):
+            shards = partition_graph(graph, count)
+            assert len(shards) == count
+            seen: set = set()
+            for shard in shards:
+                assert shard
+                assert not (shard & seen)
+                seen |= shard
+            assert seen == graph.nodes
+
+    def test_shards_are_balanced(self):
+        # Perfect balance is not always geometrically possible (a shard's
+        # frontier can be boxed in); the load-balancing claim is "within a
+        # few nodes", which a 25% slack comfortably bounds.
+        graph = torus(8, 8)
+        for count in (2, 4):
+            sizes = sorted(len(shard) for shard in partition_graph(graph, count))
+            average = sum(sizes) / count
+            assert sizes[-1] <= 1.25 * average + 1
+
+    def test_shards_are_contiguous_on_a_torus(self):
+        graph = torus(8, 8)
+        for shard in partition_graph(graph, 4):
+            assert graph.is_connected_subset(shard)
+
+    def test_partitioning_is_deterministic(self):
+        graph = torus(6, 6)
+        assert partition_graph(graph, 3) == partition_graph(graph, 3)
+
+    def test_single_partition_is_everything(self):
+        graph = grid(4, 4)
+        assert partition_graph(graph, 1) == (graph.nodes,)
+
+    def test_invalid_counts_rejected(self):
+        graph = line(4)
+        with pytest.raises(PartitionError):
+            partition_graph(graph, 0)
+        with pytest.raises(PartitionError):
+            partition_graph(graph, 5)
+
+    def test_line_split_is_an_interval(self):
+        graph = line(10)
+        shards = partition_graph(graph, 2)
+        for shard in shards:
+            assert graph.is_connected_subset(shard)
+
+
+class TestLookahead:
+    def test_constant_latency(self):
+        assert _cross_lookahead(ConstantLatency(2.5)) == 2.5
+
+    def test_per_pair_latency_takes_the_minimum(self):
+        model = PerPairLatency((((0, 1), 0.25),), default=1.0)
+        assert _cross_lookahead(model) == 0.25
+
+    def test_random_latency_rejected(self):
+        from repro.sim.latency import UniformLatency
+
+        with pytest.raises(PartitionError):
+            _cross_lookahead(UniformLatency(0.5, 1.5))
+
+
+class TestKeyedScheduler:
+    def test_orders_equal_timestamps_by_key_not_insertion(self):
+        scheduler = KeyedEventScheduler()
+        order: list[str] = []
+        scheduler.schedule_keyed(1.0, (0, 5), lambda: order.append("late-key"))
+        scheduler.schedule_keyed(1.0, (0, 1), lambda: order.append("early-key"))
+        scheduler.schedule_keyed(0.5, (0, 9), lambda: order.append("earlier-time"))
+        scheduler.run()
+        assert order == ["earlier-time", "early-key", "late-key"]
+
+    def test_nested_genealogical_keys_compare(self):
+        scheduler = KeyedEventScheduler()
+        order: list[str] = []
+        parent = (0, 3)
+        scheduler.schedule_keyed(
+            2.0, (2, 1.0, parent, (1, "'b'")), lambda: order.append("fanout-b")
+        )
+        scheduler.schedule_keyed(
+            2.0, (2, 1.0, parent, (0, 0)), lambda: order.append("counter-0")
+        )
+        scheduler.schedule_keyed(
+            2.0, (2, 1.0, parent, (1, "'a'")), lambda: order.append("fanout-a")
+        )
+        scheduler.run()
+        assert order == ["counter-0", "fanout-a", "fanout-b"]
+
+    def test_plain_scheduling_is_disabled(self):
+        scheduler = KeyedEventScheduler()
+        with pytest.raises(SchedulerError):
+            scheduler.schedule(1.0, lambda: None)
+        with pytest.raises(SchedulerError):
+            scheduler.schedule_at(1.0, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self):
+        scheduler = KeyedEventScheduler()
+        scheduler.schedule_keyed(1.0, (0, 0), lambda: None)
+        scheduler.run()
+        with pytest.raises(SchedulerError):
+            scheduler.schedule_keyed(0.5, (0, 1), lambda: None)
+
+
+class TestRunWindow:
+    @staticmethod
+    def _filled(times):
+        scheduler = KeyedEventScheduler()
+        fired: list[float] = []
+        for index, time in enumerate(times):
+            scheduler.schedule_keyed(time, (0, index), lambda t=time: fired.append(t))
+        return scheduler, fired
+
+    def test_excludes_the_bound(self):
+        scheduler, fired = self._filled((0.5, 1.0, 1.5, 2.0))
+        executed = scheduler.run_window(1.5)
+        assert fired == [0.5, 1.0]
+        assert executed == 2
+        assert scheduler.next_event_time() == 1.5
+
+    def test_inclusive_window_takes_the_bound(self):
+        scheduler, fired = self._filled((0.5, 1.0, 1.5, 2.0))
+        assert scheduler.run_window(1.5, inclusive=True) == 3
+        assert fired == [0.5, 1.0, 1.5]
+
+    def test_clock_is_not_advanced_past_the_last_event(self):
+        scheduler, _fired = self._filled((0.5,))
+        scheduler.run_window(10.0)
+        assert scheduler.now == 0.5
+        # A later window may still inject at any time >= now.
+        scheduler.schedule_keyed(0.75, (0, 9), lambda: None)
+
+    def test_budget_is_respected(self):
+        scheduler, _fired = self._filled((0.1, 0.2, 0.3))
+        assert scheduler.run_window(1.0, max_events=2) == 2
+        assert scheduler.next_event_time() == pytest.approx(0.3)
+
+    def test_next_event_time_empty(self):
+        assert EventScheduler().next_event_time() is None
+
+
+class TestPartitionEnvelope:
+    def test_envelopes_pickle_round_trip(self):
+        envelope = PartitionEnvelope(
+            delivery_time=2.0,
+            key=(2, 1.0, (0, 3), (0, 1)),
+            source=(0, 0),
+            target=(4, 4),
+            payload={"round": 1},
+            target_incarnation=2,
+        )
+        assert pickle.loads(pickle.dumps(envelope)) == envelope
