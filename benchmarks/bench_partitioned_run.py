@@ -1,22 +1,31 @@
 """SCALE-2 benchmark: partitioned event scheduling inside one large run.
 
-Times one multi-block crash scenario on a ``side×side`` torus three ways —
-the sequential :class:`~repro.sim.network.Simulator`, the partitioned
-backend with all shards inline in one process (isolates the keyed-
-scheduler/barrier overhead), and the partitioned backend with one OS
-process per shard (the parallel path) — asserts all three produce the
-same canonical trace digest (the backend's determinism contract), and
-writes the measurements to ``BENCH_partition.json``.
+Times one multi-block crash scenario on a ``side×side`` torus in every
+execution mode — the sequential :class:`~repro.sim.network.Simulator`,
+then the partitioned backend (inline and one-OS-process-per-shard) in
+both trace collection modes (``collection="trace"``, full columnar
+trace merged in the parent, and ``collection="digest"``, streamed
+digest state with zero trace bytes on the wire) — asserts every mode
+produces the same canonical trace digest (raising ``AssertionError``
+loudly on any mismatch), and writes the measurements to
+``BENCH_partition.json``.
 
 The scenario crashes one block per partition-sized region of the torus so
 that protocol work is spread across shards; a single-block scenario would
 concentrate all work in one shard and measure nothing but overhead.
 
-Reading the numbers: ``speedup`` is ``wall(sequential) /
-wall(partitions=N, process backend)``.  It is meaningful only when
-``config.cpus >= partitions``; a single-CPU container reports < 1x (the
-barrier and serialization overhead with zero parallelism to pay for it)
-while ``digest_equal`` still proves the partitioned execution exact.
+Reading the numbers: every ``wall_time_s`` includes producing the
+canonical digest (trace collections defer it to after the run, the
+digest collection folds it as events fire — timing the run alone would
+flatter the deferred modes).  ``speedup`` is ``wall(sequential) /
+wall(partitions=N, process backend, full trace)`` and
+``speedup_digest`` the same ratio for the digest-only process backend.
+Both are meaningful only when ``config.cpus >= partitions``; a
+single-CPU container reports < 1x (the barrier and serialization
+overhead with zero parallelism to pay for it) while ``digest_equal``
+still proves the partitioned execution exact.  ``worker_payloads``
+records the measured bytes each mode ships across the process boundary
+(wire blob, raw pickle, and the pre-columnar object-trace baseline).
 
 Run directly::
 
@@ -40,7 +49,7 @@ from repro.experiments.runner import run_cliff_edge  # noqa: E402
 from repro.experiments.scenarios import torus_block_members  # noqa: E402
 from repro.failures import multi_region_crash  # noqa: E402
 from repro.graph.generators import torus  # noqa: E402
-from repro.sim.partition import run_partitioned  # noqa: E402
+from repro.sim.partition import measure_worker_payloads, run_partitioned  # noqa: E402
 
 
 def build_scenario(side: int, partitions: int, block_side: int):
@@ -68,43 +77,74 @@ def run_benchmark(side: int, partitions: int, block_side: int, seed: int) -> dic
     graph, schedule = build_scenario(side, partitions, block_side)
     runs = []
 
+    # Every mode's wall includes producing the canonical digest: trace
+    # collections compute it lazily after the run, the digest collection
+    # folds it as events fire — timing only the run would credit trace
+    # modes with work they have merely deferred.
     started = perf_counter()
     sequential = run_cliff_edge(graph, schedule, seed=seed)
+    sequential_digest = sequential.digest()
     sequential_wall = perf_counter() - started
     runs.append(
         {
             "mode": "sequential",
+            "collection": "trace",
             "partitions": 1,
             "wall_time_s": round(sequential_wall, 3),
-            "digest": sequential.digest(),
+            "digest": sequential_digest,
             "events": len(sequential.trace),
         }
     )
 
-    for backend in ("inline", "process"):
-        started = perf_counter()
-        partitioned = run_partitioned(
-            graph, schedule, partitions=partitions, seed=seed, backend=backend
-        )
-        wall = perf_counter() - started
-        runs.append(
-            {
-                "mode": f"partitioned-{backend}",
-                "partitions": partitions,
-                "wall_time_s": round(wall, 3),
-                "digest": partitioned.digest(),
-                "events": len(partitioned.trace),
-                "barrier_rounds": partitioned.barrier_rounds,
-            }
-        )
+    walls: dict[tuple[str, str], float] = {}
+    for collection in ("trace", "digest"):
+        for backend in ("inline", "process"):
+            started = perf_counter()
+            partitioned = run_partitioned(
+                graph,
+                schedule,
+                partitions=partitions,
+                seed=seed,
+                backend=backend,
+                collection=collection,
+            )
+            partitioned_digest = partitioned.digest()
+            wall = perf_counter() - started
+            walls[(collection, backend)] = wall
+            runs.append(
+                {
+                    "mode": f"partitioned-{backend}",
+                    "collection": collection,
+                    "partitions": partitions,
+                    "wall_time_s": round(wall, 3),
+                    "digest": partitioned_digest,
+                    "events": len(partitioned.trace),
+                    "barrier_rounds": partitioned.barrier_rounds,
+                }
+            )
 
     digests = {run["digest"] for run in runs}
     if len(digests) != 1:
-        raise AssertionError(
-            f"partitioned backend is not digest-identical to sequential: {digests}"
+        detail = ", ".join(
+            f"{run['mode']}/{run['collection']}={run['digest'][:12]}" for run in runs
         )
-    process_wall = runs[-1]["wall_time_s"]
-    speedup = sequential_wall / process_wall if process_wall > 0 else 1.0
+        raise AssertionError(
+            "partitioned backend is not digest-identical to sequential "
+            f"(the determinism contract is broken): {detail}"
+        )
+
+    # Measured outside the timed region: what each collection mode ships
+    # across the process boundary (per-worker pickled payload sizes).
+    payloads = {
+        collection: measure_worker_payloads(
+            graph, schedule, partitions=partitions, collection=collection, seed=seed
+        )
+        for collection in ("trace", "digest")
+    }
+
+    def ratio(numerator: float, denominator: float) -> float:
+        return round(numerator / denominator, 3) if denominator > 0 else 1.0
+
     return {
         "benchmark": "bench_partitioned_run",
         "version": repro.__version__,
@@ -118,7 +158,9 @@ def run_benchmark(side: int, partitions: int, block_side: int, seed: int) -> dic
             "python": platform.python_version(),
         },
         "runs": runs,
-        "speedup": round(speedup, 3),
+        "speedup": ratio(sequential_wall, walls[("trace", "process")]),
+        "speedup_digest": ratio(sequential_wall, walls[("digest", "process")]),
+        "worker_payloads": payloads,
         "digest_equal": True,
     }
 
@@ -154,17 +196,25 @@ def main(argv: list[str] | None = None) -> int:
             f" barriers={run['barrier_rounds']}" if "barrier_rounds" in run else ""
         )
         print(
-            f"{run['mode']}: wall={run['wall_time_s']}s events={run['events']} "
-            f"digest={run['digest'][:12]}{extra}"
+            f"{run['mode']}[{run['collection']}]: wall={run['wall_time_s']}s "
+            f"events={run['events']} digest={run['digest'][:12]}{extra}"
         )
+    payloads = result["worker_payloads"]
+    print(
+        "worker payload bytes (wire): "
+        f"trace={payloads['trace']['total_payload_bytes']} "
+        f"digest={payloads['digest']['total_payload_bytes']} "
+        f"object-baseline={payloads['trace']['total_object_baseline_bytes']}"
+    )
     cpus = result["config"]["cpus"]
     print(
-        f"speedup (process x{args.partitions} vs sequential): {result['speedup']}x "
+        f"speedup (process x{args.partitions} vs sequential): "
+        f"trace={result['speedup']}x digest={result['speedup_digest']}x "
         f"on {cpus} CPU(s)  digest-equal: {result['digest_equal']}  -> {args.output}"
     )
     if cpus is not None and cpus < args.partitions:
         print(
-            "note: fewer CPUs than partitions — the speedup above measures "
+            "note: fewer CPUs than partitions — the speedups above measure "
             "overhead, not parallelism"
         )
     return 0

@@ -95,6 +95,20 @@ class ExperimentSession:
         """
         graph, schedule, membership = self.resolve(spec)
         runtime = spec.runtime
+        if runtime.collection == "digest":
+            # RuntimeSpec already pins engine='sim'; the remaining
+            # incompatibilities need the resolved scenario to detect.
+            if spec.check:
+                raise SpecError(
+                    "collection='digest' keeps no event log, so the CD1-CD7 "
+                    "checkers cannot run; set check=False or use "
+                    "collection='trace'"
+                )
+            if not spec.membership.is_static:
+                raise SpecError(
+                    "collection='digest' keeps no event log, so churn epoch "
+                    "reconstruction cannot run; use collection='trace'"
+                )
         if runtime.engine == "asyncio":
             unsupported = []
             if not spec.arbitration:
@@ -158,6 +172,7 @@ class ExperimentSession:
                 check=spec.check,
                 max_events=runtime.max_events,
                 until=runtime.until,
+                collection=runtime.collection,
             )
         elif spec.membership.is_static:
             from ..experiments.runner import run_cliff_edge
@@ -174,6 +189,7 @@ class ExperimentSession:
                 max_events=runtime.max_events,
                 until=runtime.until,
                 batch_dispatch=runtime.batched,
+                collection=runtime.collection,
             )
         else:
             if not spec.arbitration or spec.early_termination:

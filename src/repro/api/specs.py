@@ -507,6 +507,16 @@ class RuntimeSpec(_SpecBase):
     is the sequential simulator.  The field is serialized only when it
     differs from ``1``, so pre-partitioning spec documents and their
     digests are unchanged.
+
+    ``collection`` selects what the run keeps of its trace:
+    ``"trace"`` (the default) the full columnar event log, ``"digest"``
+    only the streamed canonical digest + metrics — no event log exists
+    anywhere, and partition/sweep workers ship no trace bytes.  The
+    result's ``digest()`` is bit-identical either way.  Digest mode is
+    simulator-only and, because the CD1–CD7 checkers and churn epoch
+    reconstruction both walk the full trace, a digest-mode experiment
+    must set ``check=False`` and use a static failure model.  Serialized
+    only when not the default, like ``partitions``.
     """
 
     engine: str = "sim"
@@ -516,12 +526,14 @@ class RuntimeSpec(_SpecBase):
     max_events: int = 5_000_000
     until: Optional[float] = None
     partitions: int = 1
+    collection: str = "trace"
     #: asyncio-only knobs (ignored by the simulator).
     detection_delay: float = 0.01
     time_scale: float = 0.01
     timeout: float = 60.0
 
     ENGINES = ("sim", "asyncio")
+    COLLECTIONS = ("trace", "digest")
 
     def __post_init__(self) -> None:
         if self.engine not in self.ENGINES:
@@ -539,6 +551,16 @@ class RuntimeSpec(_SpecBase):
                 "partitioned execution needs engine='sim' (the asyncio "
                 "runtime is wall-clock driven and cannot be partitioned "
                 "deterministically)"
+            )
+        if self.collection not in self.COLLECTIONS:
+            raise SpecError(
+                f"unknown collection {self.collection!r}; "
+                f"known: {', '.join(self.COLLECTIONS)}"
+            )
+        if self.collection == "digest" and self.engine != "sim":
+            raise SpecError(
+                "collection='digest' needs engine='sim' (the asyncio "
+                "runtime merges per-node logs into a full trace)"
             )
         if self.latency is not None:
             object.__setattr__(self, "latency", freeze(self.latency))
@@ -563,6 +585,9 @@ class RuntimeSpec(_SpecBase):
             # Omitted at the default so documents (and digests) written
             # before the partitioned backend existed stay byte-identical.
             data["partitions"] = self.partitions
+        if self.collection != "trace":
+            # Same rationale as partitions.
+            data["collection"] = self.collection
         return data
 
     @classmethod
@@ -713,6 +738,18 @@ class ExperimentSpec(_SpecBase):
         """The same experiment on ``partitions`` simulator shards."""
         return dataclasses.replace(
             self, runtime=dataclasses.replace(self.runtime, partitions=partitions)
+        )
+
+    def with_collection(self, collection: str) -> "ExperimentSpec":
+        """The same experiment with a different trace collection mode.
+
+        ``"digest"`` implies no CD1–CD7 checking (the checkers walk the
+        full trace), so the returned spec also sets ``check=False``.
+        """
+        return dataclasses.replace(
+            self,
+            check=self.check and collection != "digest",
+            runtime=dataclasses.replace(self.runtime, collection=collection),
         )
 
     def display_name(self) -> str:

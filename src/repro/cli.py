@@ -303,10 +303,18 @@ def _cmd_run(args: argparse.Namespace, write: Callable[[str], object]) -> int:
                 "or use `repro sweep --workers`)"
             )
             return 2
+        if args.collection is not None:
+            write(
+                "--collection applies to single experiments; set "
+                "runtime.collection on the sweep's base experiment instead"
+            )
+            return 2
         report = session.run_sweep(spec)
         return _write_sweep_report(report, spec, args.json, write)
     if args.partitions is not None:
         spec = spec.with_partitions(args.partitions)
+    if args.collection is not None:
+        spec = spec.with_collection(args.collection)
     result = session.run(spec)
     if args.json:
         _write_json(write, result.as_dict())
@@ -467,6 +475,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="split the single run across N locality-aware simulator "
         "shards (overrides the document's runtime.partitions); the "
         "merged trace digest is identical for every N",
+    )
+    run.add_argument(
+        "--collection",
+        choices=["trace", "digest"],
+        default=None,
+        help="trace collection mode (overrides the document's "
+        "runtime.collection): 'trace' keeps the full columnar event "
+        "log, 'digest' streams only the canonical digest + metrics "
+        "(implies no CD1-CD7 checking); the digest is bit-identical "
+        "either way",
     )
     run.set_defaults(func=_cmd_run)
 

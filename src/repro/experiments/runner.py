@@ -124,8 +124,13 @@ def build_simulator(
     early_termination: bool = False,
     node_factory: Optional[Callable[[NodeId], CliffEdgeNode]] = None,
     batch_dispatch: bool = True,
+    collection: str = "trace",
 ) -> Simulator:
-    """Build a ready-to-run simulator with the protocol on every node."""
+    """Build a ready-to-run simulator with the protocol on every node.
+
+    ``collection="digest"`` records no event log: the trace recorder
+    folds the canonical digest and the run metrics as events fire.
+    """
     schedule.validate(graph)
     sim = Simulator(
         graph,
@@ -134,6 +139,7 @@ def build_simulator(
             failure_detector if failure_detector is not None else PerfectFailureDetector(1.0)
         ),
         seed=seed,
+        trace=TraceRecorder(collection=collection),
         scheduler=EventScheduler(batch_dispatch=batch_dispatch),
     )
 
@@ -166,6 +172,7 @@ def run_cliff_edge(
     max_events: int = 5_000_000,
     until: Optional[float] = None,
     batch_dispatch: bool = True,
+    collection: str = "trace",
 ) -> RunResult:
     """Run a full cliff-edge consensus scenario and collect the results.
 
@@ -188,7 +195,17 @@ def run_cliff_edge(
     batch_dispatch:
         Scheduler dispatch mode (the unbatched reference loop exists for
         the determinism regression suite).
+    collection:
+        ``"trace"`` (default) keeps the full columnar trace;
+        ``"digest"`` streams digest + metrics only and keeps no event
+        log.  Digest mode cannot be combined with ``check=True`` (the
+        CD1–CD7 checkers walk the full trace).
     """
+    if collection == "digest" and check:
+        raise ValueError(
+            "collection='digest' keeps no event log, so the CD1-CD7 "
+            "checkers cannot run; use check=False or collection='trace'"
+        )
     sim = build_simulator(
         graph,
         schedule,
@@ -201,6 +218,7 @@ def run_cliff_edge(
         early_termination=early_termination,
         node_factory=node_factory,
         batch_dispatch=batch_dispatch,
+        collection=collection,
     )
     sim.run(until=until, max_events=max_events)
     trace = sim.trace

@@ -23,6 +23,15 @@ deterministic, order-stable report:
 
 ``workers<=1`` (or a single-task sweep) bypasses multiprocessing
 entirely and runs inline — same seeds, same outcomes, no pool overhead.
+
+The digest-only channel: what crosses the pool boundary is a
+:class:`~repro.scale.task.SweepOutcome` — the run's canonical digest
+plus scalar metrics, never the trace.  A spec-mode task whose
+experiment sets ``runtime.collection="digest"`` goes further: the
+worker itself never materialises an event log (the recorder streams the
+digest and metrics as events fire — see :mod:`repro.trace`), so sweep
+memory stays flat in trace length while every digest remains
+bit-identical to a full-trace run.
 """
 
 from __future__ import annotations

@@ -58,13 +58,22 @@ from __future__ import annotations
 import heapq
 import math
 import os
+import pickle
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
 from ..api.result import DecisionResultMixin, json_safe
 from ..graph import KnowledgeGraph, NodeId
-from ..trace import TraceRecorder
+from ..trace import (
+    DIGEST_RETAINED_KINDS,
+    EventColumns,
+    StreamingRunMetrics,
+    StreamingTraceDigest,
+    TraceRecorder,
+    combine_partials,
+)
 from .events import EventKind, PartitionEnvelope, TraceEvent
 from .failure_detector import (
     FailureDetectorPolicy,
@@ -221,13 +230,74 @@ def _fork_context():
 # ---------------------------------------------------------------------------
 # The per-partition simulator
 # ---------------------------------------------------------------------------
+class _ColumnarTraceLog:
+    """A worker's share of a full trace: merge keys + columnar rows.
+
+    The finish payload ships one ``array`` buffer per column plus the key
+    list, and the coordinator's k-way merge copies rows between column
+    stores without ever constructing :class:`TraceEvent` objects for the
+    crossing.
+    """
+
+    __slots__ = ("keys", "columns")
+
+    def __init__(self) -> None:
+        self.keys: list[tuple] = []
+        self.columns = EventColumns()
+
+    def add(self, key: tuple, event: TraceEvent) -> None:
+        self.keys.append(key)
+        self.columns.append(event)
+
+    def payload(self) -> dict[str, Any]:
+        return {"collection": "trace", "keys": self.keys, "columns": self.columns}
+
+
+class _DigestTraceLog:
+    """A worker's share of a digest-only run: folded state, no events.
+
+    The finish payload is a single 32-byte partial digest sum, the
+    streamed metrics accumulator, and the handful of retained
+    outcome events (decisions, crashes) — zero trace bytes cross the
+    process boundary.
+    """
+
+    __slots__ = ("digest", "metrics", "retained", "events", "end_time")
+
+    def __init__(self) -> None:
+        self.digest = StreamingTraceDigest()
+        self.metrics = StreamingRunMetrics()
+        self.retained: list[tuple[tuple, TraceEvent]] = []
+        self.events = 0
+        self.end_time = 0.0
+
+    def add(self, key: tuple, event: TraceEvent) -> None:
+        self.digest.update(event)
+        self.metrics.observe(event)
+        if event.kind in DIGEST_RETAINED_KINDS:
+            self.retained.append((key, event))
+        self.events += 1
+        self.end_time = event.time
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "collection": "digest",
+            "digest_partial": self.digest.partial(),
+            "metrics": self.metrics,
+            "retained": self.retained,
+            "events": self.events,
+            "end_time": self.end_time,
+        }
+
+
 class _PartitionTraceRecorder(TraceRecorder):
     """Filters emissions to owned nodes and annotates them with merge keys.
 
-    Events land only in the simulator's annotated ``(key, event)`` log —
-    the coordinator merges those into the result trace, so the recorder's
-    own event list is deliberately left empty (one append per event
-    instead of two, on the hottest path of the run).
+    Events land only in the simulator's keyed trace log (columnar or
+    digest-only, per the run's collection mode) — the coordinator merges
+    the per-worker logs into the result trace, so the recorder's own
+    event store is deliberately left empty (one append per event instead
+    of two, on the hottest path of the run).
     """
 
     def __init__(self, sim: "PartitionSimulator") -> None:
@@ -237,7 +307,7 @@ class _PartitionTraceRecorder(TraceRecorder):
     def record(self, event: TraceEvent) -> None:
         key = self._sim._emit_key(event)
         if key is not None:
-            self._sim._annotated.append((key, event))
+            self._sim._log.add(key, event)
 
 
 class PartitionSimulator(Simulator):
@@ -264,7 +334,7 @@ class PartitionSimulator(Simulator):
         "_start_actions",
         "_start_emits",
         "_outbox",
-        "_annotated",
+        "_log",
     )
 
     def __init__(
@@ -275,6 +345,7 @@ class PartitionSimulator(Simulator):
         latency: LatencyModel | None = None,
         failure_detector: FailureDetectorPolicy | None = None,
         seed: int = 0,
+        collection: str = "trace",
     ) -> None:
         super().__init__(
             graph,
@@ -304,9 +375,11 @@ class PartitionSimulator(Simulator):
         self._start_actions = 0
         self._start_emits = 0
         self._outbox: list[PartitionEnvelope] = []
-        #: ``(merge_key, event)`` pairs, appended in execution order —
-        #: already sorted, by construction of the keys.
-        self._annotated: list[tuple[tuple, TraceEvent]] = []
+        #: Keyed trace log, appended in execution order — already sorted,
+        #: by construction of the merge keys.
+        if collection not in TraceRecorder.COLLECTIONS:
+            raise PartitionError(f"unknown collection mode {collection!r}")
+        self._log = _ColumnarTraceLog() if collection == "trace" else _DigestTraceLog()
         self.trace = _PartitionTraceRecorder(self)
 
     # -- ownership -----------------------------------------------------
@@ -528,8 +601,9 @@ class PartitionSimulator(Simulator):
     def next_event_time(self) -> Optional[float]:
         return self._scheduler.next_event_time()
 
-    def annotated_events(self) -> list[tuple[tuple, TraceEvent]]:
-        return self._annotated
+    def trace_payload(self) -> dict[str, Any]:
+        """The shard's trace contribution, shaped for the coordinator."""
+        return self._log.payload()
 
 
 # ---------------------------------------------------------------------------
@@ -551,6 +625,7 @@ class _WorkerConfig:
     early_termination: bool
     max_events: int
     until: Optional[float]
+    collection: str = "trace"
 
 
 def _build_partition(config: _WorkerConfig) -> PartitionSimulator:
@@ -563,6 +638,7 @@ def _build_partition(config: _WorkerConfig) -> PartitionSimulator:
         latency=config.latency,
         failure_detector=config.failure_detector,
         seed=config.seed,
+        collection=config.collection,
     )
     sim.populate(
         lambda node_id: CliffEdgeNode(
@@ -577,6 +653,38 @@ def _build_partition(config: _WorkerConfig) -> PartitionSimulator:
         config.membership.applied_to(sim, crashes=config.schedule)
     sim.start()
     return sim
+
+
+def _finish_payload(
+    sim: PartitionSimulator, executed: int, config: _WorkerConfig
+) -> dict[str, Any]:
+    """What a worker ships back when the run is over.
+
+    The trace contribution depends on the collection mode (columnar rows
+    vs folded digest state); the final graph rides along only for churn
+    runs, which are the only consumers of it.
+    """
+    payload = sim.trace_payload()
+    payload["idle"] = sim.is_quiescent()
+    payload["processed"] = executed
+    if config.membership is not None:
+        payload["graph"] = sim.graph
+    return payload
+
+
+def _pack_result(payload: dict[str, Any]) -> bytes:
+    """Encode a finish payload for the pipe: pickle + fast zlib.
+
+    Trace payloads are highly repetitive (timestamp runs, shared key
+    structure, interned ids), so even level-1 zlib cuts the bytes that
+    actually cross the process boundary by several times for ~2 ms per
+    worker.  Inline workers skip this — nothing crosses a boundary.
+    """
+    return zlib.compress(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL), 1)
+
+
+def _unpack_result(blob: bytes) -> dict[str, Any]:
+    return pickle.loads(zlib.decompress(blob))
 
 
 class _InlineWorker:
@@ -600,12 +708,7 @@ class _InlineWorker:
         return outbox
 
     def finish(self) -> dict[str, Any]:
-        return {
-            "annotated": self._sim.annotated_events(),
-            "idle": self._sim.is_quiescent(),
-            "processed": self._executed,
-            "graph": self._sim.graph,
-        }
+        return _finish_payload(self._sim, self._executed, self._config)
 
     def close(self) -> None:
         pass
@@ -621,15 +724,7 @@ def _process_worker_main(connection, config: _WorkerConfig) -> None:
             message = connection.recv()
             if message[0] == "finish":
                 connection.send(
-                    (
-                        "result",
-                        {
-                            "annotated": sim.annotated_events(),
-                            "idle": sim.is_quiescent(),
-                            "processed": executed,
-                            "graph": sim.graph,
-                        },
-                    )
+                    ("result", _pack_result(_finish_payload(sim, executed, config)))
                 )
                 return
             _tag, end, envelopes = message
@@ -688,7 +783,7 @@ class _ProcessWorker:
 
     def finish(self) -> dict[str, Any]:
         self._parent_conn.send(("finish",))
-        return self._recv("result")
+        return _unpack_result(self._recv("result"))
 
     def close(self) -> None:
         try:
@@ -735,14 +830,59 @@ def _drive_barriers(
         rounds += 1
 
 
-def _merge_traces(results: list[dict[str, Any]]) -> TraceRecorder:
-    """K-way merge of the per-partition annotated logs (already sorted)."""
-    trace = TraceRecorder()
-    merged = heapq.merge(
-        *(result["annotated"] for result in results), key=lambda pair: pair[0]
+def _merge_columnar(results: list[dict[str, Any]]) -> TraceRecorder:
+    """K-way merge of the per-partition columnar logs (already sorted).
+
+    Operates row-wise on the columns: each merged row is copied between
+    column stores (kind codes verbatim, node ids re-interned) without
+    ever materialising a :class:`TraceEvent`.
+    """
+
+    def rows(result: dict[str, Any]):
+        columns = result["columns"]
+        for index, key in enumerate(result["keys"]):
+            yield key, columns, index
+
+    merged = EventColumns()
+    for _key, columns, index in heapq.merge(
+        *(rows(result) for result in results), key=lambda row: row[0]
+    ):
+        merged.append_row_from(columns, index)
+    return TraceRecorder.from_columns(merged)
+
+
+def _merge_digest(results: list[dict[str, Any]]) -> TraceRecorder:
+    """Combine per-partition digest states (no event log anywhere).
+
+    The partial digest sums add (node ownership is disjoint — see
+    :func:`~repro.trace.digest.combine_partials`), the streamed metrics
+    accumulators merge field-wise, and the few retained outcome events
+    k-way merge on their keys exactly like full trace rows would.
+    """
+    partial = combine_partials(result["digest_partial"] for result in results)
+    metrics = StreamingRunMetrics()
+    for result in results:
+        metrics.merge(result["metrics"])
+    retained = [
+        event
+        for _key, event in heapq.merge(
+            *(result["retained"] for result in results), key=lambda pair: pair[0]
+        )
+    ]
+    return TraceRecorder.from_digest_state(
+        partial=partial,
+        events=sum(result["events"] for result in results),
+        retained=retained,
+        metrics=metrics,
+        end_time=max(result["end_time"] for result in results),
     )
-    trace.extend(event for _key, event in merged)
-    return trace
+
+
+def _merge_traces(results: list[dict[str, Any]]) -> TraceRecorder:
+    """Merge per-partition trace payloads into the run's recorder."""
+    if results[0]["collection"] == "digest":
+        return _merge_digest(results)
+    return _merge_columnar(results)
 
 
 # ---------------------------------------------------------------------------
@@ -838,6 +978,7 @@ def run_partitioned(
     max_events: int = DEFAULT_MAX_EVENTS,
     until: Optional[float] = None,
     backend: str = "auto",
+    collection: str = "trace",
 ):
     """Run one scenario on the partitioned backend.
 
@@ -850,17 +991,37 @@ def run_partitioned(
     calling process — no parallelism, but no multiprocessing overhead
     either; what the determinism tests use), or ``"auto"`` (processes
     when the host has more than one CPU and more than one shard).
+
+    ``collection="digest"`` keeps no event log anywhere: workers fold
+    digest + metrics as events fire and ship only that state back (zero
+    trace bytes cross the process boundary).  The result's ``digest()``
+    is bit-identical to a full-trace run.  Digest mode excludes
+    ``check=True`` (CD1–CD7 walk the trace) and churn (epoch
+    reconstruction walks the trace).
     """
     from ..trace import collect_metrics
     from ..core.properties import extract_decisions
 
     if backend not in ("auto", "inline", "process"):
         raise PartitionError(f"unknown partition backend {backend!r}")
+    if collection not in TraceRecorder.COLLECTIONS:
+        raise PartitionError(f"unknown collection mode {collection!r}")
     schedule.validate(graph)
     if membership is not None and membership.events:
         membership.validate(graph, schedule)
     else:
         membership = None
+    if collection == "digest":
+        if check:
+            raise PartitionError(
+                "collection='digest' keeps no event log, so the CD1-CD7 "
+                "checkers cannot run; use check=False or collection='trace'"
+            )
+        if membership is not None:
+            raise PartitionError(
+                "collection='digest' keeps no event log, so churn epoch "
+                "reconstruction cannot run; use collection='trace'"
+            )
     shards = partition_graph(graph, partitions)
     effective_latency = latency if latency is not None else ConstantLatency(1.0)
     effective_detector = (
@@ -903,6 +1064,7 @@ def run_partitioned(
             early_termination=early_termination,
             max_events=max_events,
             until=until,
+            collection=collection,
         )
         for pid in range(partitions)
     ]
@@ -928,6 +1090,8 @@ def run_partitioned(
     trace = _merge_traces(results)
     quiescent = drained and all(result["idle"] for result in results)
     labels = {"partitions": partitions, "partition_backend": backend}
+    if collection != "trace":
+        labels["collection"] = collection
     if membership is not None:
         from ..churn.epochs import build_epochs
         from ..churn.runner import ChurnRunResult
@@ -962,3 +1126,92 @@ def run_partitioned(
     if check:
         run_result.check_specification(include_liveness=quiescent)
     return run_result
+
+
+# ---------------------------------------------------------------------------
+# Payload measurement
+# ---------------------------------------------------------------------------
+def measure_worker_payloads(
+    graph: KnowledgeGraph,
+    schedule,
+    *,
+    partitions: int,
+    collection: str = "trace",
+    latency: Optional[LatencyModel] = None,
+    failure_detector: Optional[FailureDetectorPolicy] = None,
+    seed: int = 0,
+    max_events: int = DEFAULT_MAX_EVENTS,
+    until: Optional[float] = None,
+) -> dict[str, Any]:
+    """Pickled sizes of the per-worker finish payloads for one scenario.
+
+    Runs the scenario on inline workers and measures exactly what each
+    worker would have shipped across a process boundary:
+    ``payload_bytes`` is the packed wire blob (:func:`_pack_result` —
+    what a process worker actually writes to the pipe),
+    ``raw_payload_bytes`` the uncompressed pickle of the same payload.
+    For ``collection="trace"`` the result also includes the object-trace
+    baseline — the pre-columnar ``(key, event)`` object list, pickled
+    uncompressed exactly as the old wire format shipped it — so the
+    serialization-budget tests and the benchmark can report the trace
+    tax against a fixed yardstick.
+    """
+    if collection not in TraceRecorder.COLLECTIONS:
+        raise PartitionError(f"unknown collection mode {collection!r}")
+    schedule.validate(graph)
+    shards = partition_graph(graph, partitions)
+    effective_latency = latency if latency is not None else ConstantLatency(1.0)
+    effective_detector = (
+        failure_detector if failure_detector is not None else PerfectFailureDetector(1.0)
+    )
+    _check_failure_detector(effective_detector)
+    lookahead = _cross_lookahead(effective_latency)
+    configs = [
+        _WorkerConfig(
+            pid=pid,
+            shards=shards,
+            graph=graph,
+            schedule=schedule,
+            membership=None,
+            latency=effective_latency,
+            failure_detector=effective_detector,
+            seed=seed,
+            arbitration_enabled=True,
+            early_termination=False,
+            max_events=max_events,
+            until=until,
+            collection=collection,
+        )
+        for pid in range(partitions)
+    ]
+    workers = [_InlineWorker(config) for config in configs]
+    _drive_barriers(workers, lookahead, until)
+    results = [worker.finish() for worker in workers]
+    payload_bytes = [len(_pack_result(result)) for result in results]
+    raw_payload_bytes = [
+        len(pickle.dumps(result, pickle.HIGHEST_PROTOCOL)) for result in results
+    ]
+    measured: dict[str, Any] = {
+        "collection": collection,
+        "partitions": partitions,
+        "payload_bytes": payload_bytes,
+        "total_payload_bytes": sum(payload_bytes),
+        "raw_payload_bytes": raw_payload_bytes,
+        "total_raw_payload_bytes": sum(raw_payload_bytes),
+    }
+    if collection == "trace":
+        baseline_bytes = []
+        for result in results:
+            columns = result["columns"]
+            baseline = {
+                key: value
+                for key, value in result.items()
+                if key not in ("keys", "columns")
+            }
+            baseline["annotated"] = list(zip(result["keys"], iter(columns)))
+            baseline_bytes.append(
+                len(pickle.dumps(baseline, pickle.HIGHEST_PROTOCOL))
+            )
+        measured["object_baseline_bytes"] = baseline_bytes
+        measured["total_object_baseline_bytes"] = sum(baseline_bytes)
+    return measured

@@ -1,17 +1,39 @@
 """Trace recording, canonical digests and metrics extraction."""
 
-from .digest import canonical_text, combine_digests, event_line, trace_digest
-from .metrics import RunMetrics, collect_metrics, communicating_nodes, message_pairs
-from .recorder import TraceRecorder
+from .columns import EventColumns
+from .digest import (
+    StreamingTraceDigest,
+    canonical_text,
+    combine_digests,
+    combine_partials,
+    event_line,
+    hex_of_partial,
+    trace_digest,
+)
+from .metrics import (
+    RunMetrics,
+    StreamingRunMetrics,
+    collect_metrics,
+    communicating_nodes,
+    message_pairs,
+)
+from .recorder import DIGEST_RETAINED_KINDS, TraceRecorder, TraceUnavailableError
 
 __all__ = [
     "TraceRecorder",
+    "TraceUnavailableError",
+    "DIGEST_RETAINED_KINDS",
+    "EventColumns",
     "RunMetrics",
+    "StreamingRunMetrics",
+    "StreamingTraceDigest",
     "collect_metrics",
     "communicating_nodes",
     "message_pairs",
     "canonical_text",
     "combine_digests",
+    "combine_partials",
+    "hex_of_partial",
     "event_line",
     "trace_digest",
 ]

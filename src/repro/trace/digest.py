@@ -1,16 +1,46 @@
 """Canonical, hash-seed-independent trace digests.
 
-The sharded sweep engine (:mod:`repro.scale`) proves determinism by
-comparing digests of traces produced in *different* worker processes.  A
-naive ``repr``-based digest would not survive that: ``frozenset`` and
-``dict`` iteration order depends on ``PYTHONHASHSEED``, which differs
-between independently started interpreters (e.g. under the ``spawn`` or
+The sharded sweep engine (:mod:`repro.scale`) and the partitioned
+backend (:mod:`repro.sim.partition`) prove determinism by comparing
+digests of traces produced in *different* worker processes.  A naive
+``repr``-based digest would not survive that: ``frozenset`` and ``dict``
+iteration order depends on ``PYTHONHASHSEED``, which differs between
+independently started interpreters (e.g. under the ``spawn`` or
 ``forkserver`` multiprocessing start methods).
 
 :func:`canonical_text` therefore encodes every value through a recursive
 canonical form — collections are emitted in sorted order, dataclasses in
 field order — so two structurally equal traces always produce the same
 digest, no matter which process (or machine) recorded them.
+
+The digest construction (node-composed)
+---------------------------------------
+The canonical trace digest is **composed per node**:
+
+1. each node's ordered subsequence of events is folded into its own
+   SHA-256 (one ``event_line`` + newline per event);
+2. each finished per-node hash is bound to its node through one more
+   SHA-256 leaf, ``sha256(b"node" 1F key 1F node_digest)`` where ``key``
+   is :func:`canonical_text` of the node id;
+3. the trace digest is the sum of all leaf values mod ``2**256``
+   (rendered as 64 hex digits).
+
+Stage 3 is commutative and associative, so the digest *composes*: a
+worker that owns a disjoint subset of nodes can fold its events as they
+fire (:class:`StreamingTraceDigest`), ship a single 32-byte partial sum
+across the process boundary, and the coordinator adds the partials —
+bit-identical to digesting the fully merged trace, with zero trace bytes
+in flight.  This is exactly the partition-worker contract: each node's
+events live entirely inside the partition that owns it, and the ordered
+merge preserves every per-node subsequence.
+
+The trade-off is explicit: the digest pins every node's event
+*subsequence* (content and per-node order) but not the cross-node
+interleaving of the merged trace.  The interleaving is pinned separately
+by the determinism suite's full event-list equality assertions
+(``tests/integration/test_partitioned_determinism.py``), and any
+single-node reordering, dropped event, or changed payload still flips
+the digest.
 """
 
 from __future__ import annotations
@@ -23,7 +53,6 @@ from typing import TYPE_CHECKING, Any, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (recorder imports us)
     from ..sim.events import EventKind, TraceEvent
-    from .recorder import TraceRecorder
 
 
 def canonical_text(value: Any) -> str:
@@ -67,24 +96,130 @@ def event_line(event: "TraceEvent") -> str:
     return canonical_text(event)
 
 
+#: Domain separator of the per-node leaf hashes.
+_LEAF_PREFIX = b"node\x1f"
+#: The partial-sum group: addition mod 2**256.
+_SUM_MASK = (1 << 256) - 1
+
+
+def _leaf_value(key_bytes: bytes, node_digest: bytes) -> int:
+    leaf = hashlib.sha256(_LEAF_PREFIX + key_bytes + b"\x1f" + node_digest).digest()
+    return int.from_bytes(leaf, "big")
+
+
+def hex_of_partial(partial: int) -> str:
+    """Render a (combined) partial sum as the canonical 64-hex digest."""
+    return format(partial & _SUM_MASK, "064x")
+
+
+def combine_partials(partials: Iterable[int]) -> int:
+    """Fold per-worker partial sums into one (order-independent).
+
+    Sound only when the workers' node sets are disjoint — which the
+    partitioned backend guarantees by construction (every node is owned
+    by exactly one shard, joiners included).
+    """
+    total = 0
+    for partial in partials:
+        total = (total + partial) & _SUM_MASK
+    return total
+
+
+class StreamingTraceDigest:
+    """Fold the canonical trace digest incrementally, event by event.
+
+    Feed events with :meth:`update` in emission order; :meth:`partial`
+    yields the composable integer state (what partition workers ship),
+    :meth:`hexdigest` the finished digest.  Both are non-destructive, so
+    a digest can be inspected mid-stream.
+
+    ``kinds`` restricts the fold to those event kinds, mirroring
+    ``TraceRecorder.digest(*kinds)``.
+    """
+
+    __slots__ = ("_wanted", "_hashers", "_payload_cache")
+
+    def __init__(self, kinds: Optional[Iterable["EventKind"]] = None) -> None:
+        self._wanted = frozenset(kinds) if kinds is not None else None
+        #: node id -> (canonical key bytes, running SHA-256 of its events)
+        self._hashers: dict[Any, tuple[bytes, Any]] = {}
+        #: id(payload) -> (payload, canonical text).  Payload rendering
+        #: dominates the digest cost and payload objects are heavily
+        #: shared (a multicast reuses one message for every target, and
+        #: each SENT/DELIVERED pair shares one), so rendering each object
+        #: once is a multiple-times win.  The cached reference keeps the
+        #: object alive, so its id cannot be reused while cached.
+        self._payload_cache: dict[int, tuple[Any, str]] = {}
+
+    def _payload_text(self, payload: Any) -> str:
+        if payload is None:
+            return "None"
+        key = id(payload)
+        hit = self._payload_cache.get(key)
+        if hit is not None and hit[0] is payload:
+            return hit[1]
+        text = canonical_text(payload)
+        self._payload_cache[key] = (payload, text)
+        return text
+
+    def _line(self, event: "TraceEvent") -> str:
+        # Equal to event_line(event) — canonical_text renders a dataclass
+        # as ClassName(field=..., ...) in declaration order — but with the
+        # payload rendering cached by identity.  The equivalence is pinned
+        # by the trace-equivalence property suite.
+        return (
+            "TraceEvent("
+            f"time={event.time!r}, "
+            f"kind=EventKind.{event.kind.name}, "
+            f"node={canonical_text(event.node)}, "
+            f"peer={canonical_text(event.peer)}, "
+            f"payload={self._payload_text(event.payload)}, "
+            f"detail={canonical_text(event.detail)})"
+        )
+
+    def update(self, event: "TraceEvent") -> None:
+        """Fold one event (a no-op if its kind is filtered out)."""
+        if self._wanted is not None and event.kind not in self._wanted:
+            return
+        entry = self._hashers.get(event.node)
+        if entry is None:
+            entry = (
+                canonical_text(event.node).encode("utf-8"),
+                hashlib.sha256(),
+            )
+            self._hashers[event.node] = entry
+        hasher = entry[1]
+        hasher.update(self._line(event).encode("utf-8"))
+        hasher.update(b"\n")
+
+    def partial(self) -> int:
+        """The composable partial sum over the nodes folded so far."""
+        total = 0
+        for key_bytes, hasher in self._hashers.values():
+            total = (total + _leaf_value(key_bytes, hasher.digest())) & _SUM_MASK
+        return total
+
+    def hexdigest(self) -> str:
+        """The canonical digest of everything folded so far."""
+        return hex_of_partial(self.partial())
+
+
 def trace_digest(
     events: Iterable["TraceEvent"],
     kinds: Optional[Iterable["EventKind"]] = None,
 ) -> str:
-    """SHA-256 over the canonical encoding of ``events`` (hex digest).
+    """The canonical digest of ``events`` (hex string).
 
     With ``kinds`` given, only events of those kinds contribute — e.g.
     digesting only ``DECIDED`` events compares outcomes while tolerating
-    runtime-specific message interleavings.
+    runtime-specific message interleavings.  Equal to streaming the same
+    events through :class:`StreamingTraceDigest` (the property suite
+    pins this).
     """
-    wanted = frozenset(kinds) if kinds is not None else None
-    hasher = hashlib.sha256()
+    stream = StreamingTraceDigest(kinds=kinds)
     for event in events:
-        if wanted is not None and event.kind not in wanted:
-            continue
-        hasher.update(event_line(event).encode("utf-8"))
-        hasher.update(b"\n")
-    return hasher.hexdigest()
+        stream.update(event)
+    return stream.hexdigest()
 
 
 def combine_digests(digests: Iterable[str]) -> str:

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..graph import NodeId
-from ..sim.events import EventKind, payload_size
+from ..sim.events import EventKind, TraceEvent, payload_size
 from .recorder import TraceRecorder
 
 
@@ -79,8 +79,118 @@ class RunMetrics:
         }
 
 
+@dataclass
+class StreamingRunMetrics:
+    """Mutable single-pass accumulator producing a :class:`RunMetrics`.
+
+    Digest-only runs (``collection="digest"``) keep no event log, so the
+    recorder folds metrics as events fire instead; partition workers ship
+    this accumulator (a few counters and small sets) across the process
+    boundary and the coordinator :meth:`merge`\\ s the per-shard halves.
+    For any event stream, observing every event then :meth:`finalize`
+    equals :func:`collect_metrics` over the full trace — the trace-
+    equivalence property suite pins this.
+    """
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    bytes_sent: int = 0
+    proposals: int = 0
+    rejections: int = 0
+    failed_instances: int = 0
+    decisions: int = 0
+    first_decision_time: Optional[float] = None
+    last_decision_time: Optional[float] = None
+    end_time: float = 0.0
+    per_node_messages: Counter = field(default_factory=Counter)
+    notified_nodes: set = field(default_factory=set)
+    deciding_nodes: set = field(default_factory=set)
+    decided_views: set = field(default_factory=set)
+
+    def observe(self, event: TraceEvent) -> None:
+        """Fold one event (events must arrive in trace order)."""
+        self.end_time = event.time
+        kind = event.kind
+        if kind is EventKind.MESSAGE_SENT:
+            self.messages_sent += 1
+            self.bytes_sent += payload_size(event.payload)
+            if event.node is not None:
+                self.per_node_messages[event.node] += 1
+        elif kind is EventKind.MESSAGE_DELIVERED:
+            self.messages_delivered += 1
+        elif kind is EventKind.DECIDED:
+            self.decisions += 1
+            self.deciding_nodes.add(event.node)
+            self.decided_views.add(event.payload)
+            if self.first_decision_time is None or event.time < self.first_decision_time:
+                self.first_decision_time = event.time
+            if self.last_decision_time is None or event.time > self.last_decision_time:
+                self.last_decision_time = event.time
+        elif kind is EventKind.VIEW_PROPOSED:
+            self.proposals += 1
+        elif kind is EventKind.VIEW_REJECTED:
+            self.rejections += 1
+        elif kind is EventKind.INSTANCE_FAILED:
+            self.failed_instances += 1
+        elif kind is EventKind.CRASH_NOTIFIED:
+            self.notified_nodes.add(event.node)
+
+    def merge(self, other: "StreamingRunMetrics") -> None:
+        """Fold another shard's accumulator into this one (in place)."""
+        self.messages_sent += other.messages_sent
+        self.messages_delivered += other.messages_delivered
+        self.bytes_sent += other.bytes_sent
+        self.proposals += other.proposals
+        self.rejections += other.rejections
+        self.failed_instances += other.failed_instances
+        self.decisions += other.decisions
+        times = [
+            t for t in (self.first_decision_time, other.first_decision_time)
+            if t is not None
+        ]
+        self.first_decision_time = min(times) if times else None
+        times = [
+            t for t in (self.last_decision_time, other.last_decision_time)
+            if t is not None
+        ]
+        self.last_decision_time = max(times) if times else None
+        self.end_time = max(self.end_time, other.end_time)
+        self.per_node_messages.update(other.per_node_messages)
+        self.notified_nodes |= other.notified_nodes
+        self.deciding_nodes |= other.deciding_nodes
+        self.decided_views |= other.decided_views
+
+    def finalize(self) -> RunMetrics:
+        """The immutable :class:`RunMetrics` of everything observed."""
+        return RunMetrics(
+            messages_sent=self.messages_sent,
+            messages_delivered=self.messages_delivered,
+            bytes_sent=self.bytes_sent,
+            speaking_nodes=len(self.per_node_messages),
+            notified_nodes=len(self.notified_nodes),
+            decisions=self.decisions,
+            deciding_nodes=len(self.deciding_nodes),
+            decided_views=len(self.decided_views),
+            proposals=self.proposals,
+            rejections=self.rejections,
+            failed_instances=self.failed_instances,
+            first_decision_time=self.first_decision_time,
+            last_decision_time=self.last_decision_time,
+            end_time=self.end_time,
+            per_node_messages=dict(self.per_node_messages),
+        )
+
+
 def collect_metrics(trace: TraceRecorder) -> RunMetrics:
-    """Compute :class:`RunMetrics` from a finished trace."""
+    """Compute :class:`RunMetrics` from a finished trace.
+
+    Digest-only recorders keep no event log but fold a
+    :class:`StreamingRunMetrics` as events fire; for those this finalizes
+    the streamed state instead of iterating (the two paths agree — see
+    the trace-equivalence property suite).
+    """
+    if getattr(trace, "collection", "trace") == "digest":
+        return trace.streamed_metrics()
     sent = trace.of_kind(EventKind.MESSAGE_SENT)
     delivered = trace.of_kind(EventKind.MESSAGE_DELIVERED)
     decisions = trace.decisions()

@@ -4,30 +4,139 @@ A :class:`TraceRecorder` accumulates the :class:`~repro.sim.events.TraceEvent`
 records produced by a run.  Both runtimes (the discrete-event simulator and
 the asyncio runtime) write into the same structure, so property checkers
 and metrics never need to know where a trace came from.
+
+Collection modes
+----------------
+``collection="trace"`` (the default) keeps the full trace — stored
+columnar (:class:`~repro.trace.columns.EventColumns`, one array per
+field with interned node ids) behind the unchanged query API; events are
+reconstructed lazily on iteration and compare equal to what was
+recorded.
+
+``collection="digest"`` keeps **no event log**.  The recorder folds the
+canonical digest (:class:`~repro.trace.digest.StreamingTraceDigest`) and
+the run metrics (:class:`~repro.trace.metrics.StreamingRunMetrics`)
+incrementally as events fire, and retains only the handful of
+outcome-bearing events (``DECIDED``, ``NODE_CRASHED``) that result
+objects need.  ``digest()``, ``len()``, ``end_time()``, ``decisions()``,
+``crashes()`` and kind filters over the retained kinds keep working;
+anything that needs the full log raises :class:`TraceUnavailableError`
+with a pointer back to ``collection="trace"``.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Iterator
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from ..graph import NodeId
 from ..sim.events import EventKind, TraceEvent
+from .columns import EventColumns
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .metrics import RunMetrics, StreamingRunMetrics
+
+
+class TraceUnavailableError(RuntimeError):
+    """A query needed the full event log of a digest-only recorder."""
+
+
+#: Event kinds a digest-only recorder still retains as objects: the
+#: outcome surface (decisions, ground-truth crash set) that result
+#: objects expose even when the trace itself is not kept.
+DIGEST_RETAINED_KINDS = frozenset({EventKind.DECIDED, EventKind.NODE_CRASHED})
 
 
 class TraceRecorder:
     """An append-only log of trace events with simple query helpers."""
 
-    def __init__(self) -> None:
-        self._events: list[TraceEvent] = []
+    COLLECTIONS = ("trace", "digest")
+
+    def __init__(self, collection: str = "trace") -> None:
+        if collection not in self.COLLECTIONS:
+            raise ValueError(
+                f"unknown collection mode {collection!r}; "
+                f"known: {', '.join(self.COLLECTIONS)}"
+            )
+        self._collection = collection
         self._listeners: list[Callable[[TraceEvent], None]] = []
+        self._columns: Optional[EventColumns] = None
+        self._digest_stream = None
+        self._metrics_stream: Optional["StreamingRunMetrics"] = None
+        self._retained: list[TraceEvent] = []
+        self._count = 0
+        self._end_time = 0.0
+        #: Set when this recorder was rebuilt from merged worker state
+        #: (the per-node hashers are gone, so recording is closed).
+        self._sealed_digest: Optional[str] = None
+        if collection == "trace":
+            self._columns = EventColumns()
+        else:
+            from .digest import StreamingTraceDigest
+            from .metrics import StreamingRunMetrics
+
+            self._digest_stream = StreamingTraceDigest()
+            self._metrics_stream = StreamingRunMetrics()
+
+    @property
+    def collection(self) -> str:
+        """The collection mode: ``"trace"`` or ``"digest"``."""
+        return self._collection
+
+    @classmethod
+    def from_columns(cls, columns: EventColumns) -> "TraceRecorder":
+        """A full-trace recorder over an existing columnar store (the
+        partitioned backend's merge constructs traces this way)."""
+        recorder = cls()
+        recorder._columns = columns
+        return recorder
+
+    @classmethod
+    def from_digest_state(
+        cls,
+        *,
+        partial: int,
+        events: int,
+        retained: Iterable[TraceEvent],
+        metrics: "StreamingRunMetrics",
+        end_time: float,
+    ) -> "TraceRecorder":
+        """A digest-only recorder rebuilt from merged worker state.
+
+        ``partial`` is the combined node-composed digest sum (see
+        :func:`~repro.trace.digest.combine_partials`); the recorder is
+        sealed — further :meth:`record` calls raise.
+        """
+        from .digest import hex_of_partial
+
+        recorder = cls(collection="digest")
+        recorder._sealed_digest = hex_of_partial(partial)
+        recorder._count = events
+        recorder._retained = list(retained)
+        recorder._metrics_stream = metrics
+        recorder._end_time = end_time
+        return recorder
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def record(self, event: TraceEvent) -> None:
         """Append one event and notify listeners."""
-        self._events.append(event)
+        columns = self._columns
+        if columns is not None:
+            columns.append(event)
+        else:
+            if self._sealed_digest is not None:
+                raise TraceUnavailableError(
+                    "this recorder was rebuilt from merged digest state "
+                    "and is read-only"
+                )
+            self._digest_stream.update(event)
+            self._metrics_stream.observe(event)
+            if event.kind in DIGEST_RETAINED_KINDS:
+                self._retained.append(event)
+            self._count += 1
+            self._end_time = event.time
         for listener in self._listeners:
             listener(event)
 
@@ -52,34 +161,71 @@ class TraceRecorder:
         self._listeners.append(listener)
 
     # ------------------------------------------------------------------
+    # Digest-mode guards and accessors
+    # ------------------------------------------------------------------
+    def _require_log(self, what: str) -> EventColumns:
+        columns = self._columns
+        if columns is None:
+            raise TraceUnavailableError(
+                f"collection='digest' keeps no event log, so {what} is "
+                "unavailable; run with collection='trace' to keep the "
+                "full trace"
+            )
+        return columns
+
+    def streamed_metrics(self) -> "RunMetrics":
+        """The metrics folded so far (digest-only recorders)."""
+        if self._metrics_stream is None:
+            raise TraceUnavailableError(
+                "streamed_metrics() is the digest-mode accessor; full "
+                "traces compute metrics with collect_metrics(trace)"
+            )
+        return self._metrics_stream.finalize()
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     @property
     def events(self) -> tuple[TraceEvent, ...]:
         """All events recorded so far, in order."""
-        return tuple(self._events)
+        return tuple(self._require_log("the event list"))
 
     def __len__(self) -> int:
-        return len(self._events)
+        columns = self._columns
+        return len(columns) if columns is not None else self._count
 
     def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self._events)
+        return iter(self._require_log("iteration"))
 
     def of_kind(self, *kinds: EventKind) -> list[TraceEvent]:
-        """Events whose kind is one of ``kinds``."""
+        """Events whose kind is one of ``kinds``.
+
+        Digest-only recorders answer this for the retained outcome kinds
+        (``DECIDED``, ``NODE_CRASHED``) and raise otherwise.
+        """
+        columns = self._columns
+        if columns is not None:
+            return columns.events_of_kinds(kinds)
         wanted = set(kinds)
-        return [event for event in self._events if event.kind in wanted]
+        if wanted <= DIGEST_RETAINED_KINDS:
+            return [event for event in self._retained if event.kind in wanted]
+        missing = ", ".join(sorted(kind.name for kind in wanted - DIGEST_RETAINED_KINDS))
+        raise TraceUnavailableError(
+            f"collection='digest' retains only "
+            f"{', '.join(sorted(k.name for k in DIGEST_RETAINED_KINDS))} events; "
+            f"{missing} needs collection='trace'"
+        )
 
     def at_node(self, node: NodeId) -> list[TraceEvent]:
         """Events attributed to ``node``."""
-        return [event for event in self._events if event.node == node]
+        return self._require_log("per-node filtering").events_at_node(node)
 
     def decisions(self) -> list[TraceEvent]:
-        """All DECIDED events."""
+        """All DECIDED events (available in every collection mode)."""
         return self.of_kind(EventKind.DECIDED)
 
     def crashes(self) -> list[TraceEvent]:
-        """All NODE_CRASHED events."""
+        """All NODE_CRASHED events (available in every collection mode)."""
         return self.of_kind(EventKind.NODE_CRASHED)
 
     def crashed_nodes(self) -> frozenset[NodeId]:
@@ -94,25 +240,28 @@ class TraceRecorder:
 
     def first(self, kind: EventKind) -> Optional[TraceEvent]:
         """The earliest event of ``kind`` or ``None``."""
-        for event in self._events:
-            if event.kind == kind:
-                return event
-        return None
+        columns = self._columns
+        if columns is not None:
+            return columns.first_of(kind)
+        matching = self.of_kind(kind)
+        return matching[0] if matching else None
 
     def last(self, kind: EventKind) -> Optional[TraceEvent]:
         """The latest event of ``kind`` or ``None``."""
-        for event in reversed(self._events):
-            if event.kind == kind:
-                return event
-        return None
+        columns = self._columns
+        if columns is not None:
+            return columns.last_of(kind)
+        matching = self.of_kind(kind)
+        return matching[-1] if matching else None
 
     def end_time(self) -> float:
         """Timestamp of the last recorded event (0.0 for an empty trace)."""
-        return self._events[-1].time if self._events else 0.0
+        columns = self._columns
+        return columns.end_time() if columns is not None else self._end_time
 
     def filter(self, predicate: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
         """Events matching an arbitrary predicate."""
-        return [event for event in self._events if predicate(event)]
+        return [event for event in self._require_log("filtering") if predicate(event)]
 
     def extend(self, events: Iterable[TraceEvent]) -> None:
         """Append many events (used when merging per-node asyncio logs)."""
@@ -121,16 +270,26 @@ class TraceRecorder:
 
     def to_lines(self) -> list[str]:
         """Human-readable rendering of the whole trace."""
-        return [event.describe() for event in self._events]
+        return [event.describe() for event in self._require_log("rendering")]
 
     def digest(self, *kinds: EventKind) -> str:
-        """Canonical SHA-256 digest of the trace (hex string).
+        """Canonical digest of the trace (hex string).
 
         Without arguments every event contributes; with ``kinds`` only
         those event kinds do.  The encoding is independent of the hash
         seed of the recording process (see :mod:`repro.trace.digest`), so
-        digests compare across worker processes and machines.
+        digests compare across worker processes and machines.  Digest-only
+        recorders stream the unfiltered digest as events fire; kind
+        filters over the retained kinds recompute from the retained
+        events, other filters raise.
         """
         from .digest import trace_digest
 
-        return trace_digest(self._events, kinds=kinds if kinds else None)
+        columns = self._columns
+        if columns is not None:
+            return trace_digest(columns, kinds=kinds if kinds else None)
+        if not kinds:
+            if self._sealed_digest is not None:
+                return self._sealed_digest
+            return self._digest_stream.hexdigest()
+        return trace_digest(self.of_kind(*kinds), kinds=kinds)

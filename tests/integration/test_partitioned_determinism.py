@@ -8,6 +8,10 @@ for every partition count, on both the inline and the process backend.
 
 from __future__ import annotations
 
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.api import (
@@ -16,6 +20,7 @@ from repro.api import (
     MembershipSpec,
     RuntimeSpec,
     SpecError,
+    SweepSpec,
     TopologySpec,
     run_spec,
 )
@@ -27,7 +32,12 @@ from repro.failures import cascade_crash, region_crash
 from repro.graph.generators import grid, torus
 from repro.sim import EventKind, UniformLatency
 from repro.sim.failure_detector import JitteredFailureDetector
-from repro.sim.partition import PartitionError, run_partitioned
+from repro.sim.partition import (
+    PartitionError,
+    measure_worker_payloads,
+    run_partitioned,
+)
+from repro.trace import TraceUnavailableError, collect_metrics
 
 
 def _assert_equal_traces(sequential, partitioned):
@@ -301,3 +311,216 @@ class TestSpecLayerIntegration:
     def test_asyncio_partitions_rejected_at_construction(self):
         with pytest.raises(SpecError):
             RuntimeSpec(engine="asyncio", partitions=2)
+
+
+_DIGEST_CHILD_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.experiments.runner import run_cliff_edge
+from repro.failures import region_crash
+from repro.graph.generators import torus
+from repro.sim.partition import run_partitioned
+graph = torus(8, 8)
+schedule = region_crash(graph, [(2, 2), (2, 3), (3, 2), (3, 3)], at=1.0)
+print(run_partitioned(
+    graph, schedule, partitions=2, seed=0, backend="inline",
+    collection="digest",
+).digest())
+print(run_cliff_edge(graph, schedule, seed=0, check=False).digest())
+"""
+
+
+class TestDigestCollection:
+    """``collection="digest"`` ships zero trace bytes but must stay
+    digest-identical to a full-trace run — on every partition count,
+    on both backends, through the spec layer and through sweeps."""
+
+    def _scenario(self):
+        graph = torus(8, 8)
+        schedule = region_crash(graph, [(2, 2), (2, 3), (3, 2), (3, 3)], at=1.0)
+        return graph, schedule
+
+    def test_digest_mode_equal_across_partition_counts(self):
+        graph, schedule = self._scenario()
+        sequential = run_cliff_edge(graph, schedule, seed=0)
+        for partitions in (1, 2, 4):
+            lean = run_partitioned(
+                graph,
+                schedule,
+                partitions=partitions,
+                seed=0,
+                backend="inline",
+                collection="digest",
+            )
+            assert lean.digest() == sequential.digest()
+            assert len(lean.trace) == len(sequential.trace)
+            assert lean.trace.end_time() == sequential.trace.end_time()
+
+    def test_digest_mode_equal_on_process_backend(self):
+        graph, schedule = self._scenario()
+        sequential = run_cliff_edge(graph, schedule, seed=0)
+        lean = run_partitioned(
+            graph,
+            schedule,
+            partitions=2,
+            seed=0,
+            backend="process",
+            collection="digest",
+        )
+        assert lean.digest() == sequential.digest()
+
+    def test_digest_mode_outcome_surface_matches_full_trace(self):
+        """Metrics, decisions and the crash set survive without a log."""
+        graph, schedule = self._scenario()
+        full = run_partitioned(
+            graph, schedule, partitions=2, seed=0, backend="inline"
+        )
+        lean = run_partitioned(
+            graph,
+            schedule,
+            partitions=2,
+            seed=0,
+            backend="inline",
+            collection="digest",
+        )
+        assert collect_metrics(lean.trace) == collect_metrics(full.trace)
+        assert lean.trace.decisions() == full.trace.decisions()
+        assert lean.trace.crashed_nodes() == full.trace.crashed_nodes()
+        with pytest.raises(TraceUnavailableError):
+            lean.trace.events
+
+    def test_digest_mode_rejects_checkers_and_churn(self):
+        graph, schedule = self._scenario()
+        with pytest.raises(PartitionError):
+            run_partitioned(
+                graph,
+                schedule,
+                partitions=2,
+                check=True,
+                backend="inline",
+                collection="digest",
+            )
+        churn_graph = torus(8, 8)
+        churn_schedule, membership = steady_state_churn(
+            churn_graph, churn_rate=0.05, duration=20.0, seed=3
+        )
+        with pytest.raises(PartitionError):
+            run_partitioned(
+                churn_graph,
+                churn_schedule,
+                membership,
+                partitions=2,
+                backend="inline",
+                collection="digest",
+            )
+
+    def _digest_spec(self, partitions: int = 1) -> ExperimentSpec:
+        return ExperimentSpec(
+            topology=TopologySpec("torus", {"width": 8, "height": 8}),
+            failure=FailureSpec(
+                "region", {"members": [[2, 2], [2, 3], [3, 2]], "at": 1.0}
+            ),
+            runtime=RuntimeSpec(partitions=partitions),
+            check=False,
+            seed=2,
+        )
+
+    def test_spec_layer_digest_collection_equal(self):
+        base = self._digest_spec()
+        sequential = run_spec(base)
+        for partitions in (1, 4):
+            lean = run_spec(
+                self._digest_spec(partitions).with_collection("digest")
+            )
+            assert lean.digest() == sequential.digest()
+
+    def test_sweep_digest_collection_equal(self):
+        """A digest-collection sweep (workers never materialise a log)
+        reports the same combined digest as a full-trace sweep."""
+        base = self._digest_spec()
+        full = run_spec(SweepSpec(experiment=base, seeds=(0, 1), workers=1))
+        lean = run_spec(
+            SweepSpec(
+                experiment=base.with_collection("digest"),
+                seeds=(0, 1),
+                workers=1,
+            )
+        )
+        assert lean.digest() == full.digest()
+
+    def test_digest_mode_is_hash_seed_independent(self):
+        """Partials combined across shards must agree between interpreters
+        started with different PYTHONHASHSEED values (the spawn-worker
+        reality), and with an in-process full-trace run."""
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        outputs = set()
+        for hash_seed in ("1", "12345"):
+            completed = subprocess.run(
+                [sys.executable, "-c", _DIGEST_CHILD_SCRIPT.format(src=src)],
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+                check=True,
+            )
+            outputs.add(completed.stdout.strip())
+        assert len(outputs) == 1
+        lean_digest, full_digest = outputs.pop().splitlines()
+        assert lean_digest == full_digest
+        graph, schedule = self._scenario()
+        assert lean_digest == run_cliff_edge(graph, schedule, seed=0).digest()
+
+
+class TestSerializationBudget:
+    """Byte budgets of what each collection mode ships per worker.
+
+    ``measure_worker_payloads`` reports the packed wire blob (what the
+    pipe carries), the raw pickle, and — for full traces — the
+    pre-columnar object-trace baseline the columns replaced."""
+
+    def test_digest_payloads_fit_fixed_budget_small(self):
+        graph = torus(8, 8)
+        schedule = region_crash(graph, [(2, 2), (2, 3), (3, 2), (3, 3)], at=1.0)
+        measured = measure_worker_payloads(
+            graph, schedule, partitions=2, collection="digest", seed=0
+        )
+        assert max(measured["raw_payload_bytes"]) < 4096
+        assert max(measured["payload_bytes"]) < 4096
+
+    def test_columnar_wire_bytes_under_quarter_of_object_baseline_small(self):
+        graph = torus(8, 8)
+        schedule = region_crash(graph, [(2, 2), (2, 3), (3, 2), (3, 3)], at=1.0)
+        measured = measure_worker_payloads(
+            graph, schedule, partitions=2, collection="trace", seed=0
+        )
+        baseline = measured["total_object_baseline_bytes"]
+        assert measured["total_payload_bytes"] <= baseline * 0.25
+        # The columnar representation is smaller before compression too.
+        assert measured["total_raw_payload_bytes"] < baseline
+
+    @pytest.mark.slow
+    def test_4096_node_budgets(self):
+        """The issue's headline numbers: on a 4096-node torus the digest
+        mode ships a few KB per worker regardless of trace length, and
+        the columnar wire format stays under a quarter of the object
+        baseline."""
+        side = 64
+        graph = torus(side, side)
+        schedule = region_crash(
+            graph, [(30, 30), (30, 31), (31, 30), (31, 31)], at=1.0
+        )
+        digest_measured = measure_worker_payloads(
+            graph, schedule, partitions=4, collection="digest", seed=3
+        )
+        assert max(digest_measured["raw_payload_bytes"]) < 8192
+        trace_measured = measure_worker_payloads(
+            graph, schedule, partitions=4, collection="trace", seed=3
+        )
+        baseline = trace_measured["total_object_baseline_bytes"]
+        assert trace_measured["total_payload_bytes"] <= baseline * 0.25
+        assert trace_measured["total_raw_payload_bytes"] < baseline
+        # Digest payloads are orders of magnitude below even the
+        # compressed columnar wire bytes.
+        assert (
+            digest_measured["total_payload_bytes"] * 10
+            < trace_measured["total_payload_bytes"]
+        )
