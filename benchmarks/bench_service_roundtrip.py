@@ -1,0 +1,148 @@
+"""Service benchmark: what does the wire cost, and what does the cache buy?
+
+Boots a local experiment server (ephemeral port, in-process workers) and
+measures, for one experiment spec and one sweep spec:
+
+* ``local_s`` — running the spec in-process through ``ExperimentSession``
+  (the floor: no HTTP, no ledger, no store);
+* ``fresh_s`` — submit → worker executes → terminal job over HTTP;
+* ``cached_s`` — the identical resubmission, answered from the
+  digest-keyed result store without executing anything;
+* ``result_bytes`` — the JSON result document fetched by the client,
+  for both trace and digest collection modes (the digest mode ships a
+  32-byte partial instead of a trace).
+
+Every digest is asserted equal to the local run's — the benchmark
+doubles as an end-to-end determinism check.  Writes
+``BENCH_service.json``.
+
+Run directly::
+
+    python benchmarks/bench_service_roundtrip.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import threading
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from time import perf_counter
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro  # noqa: E402
+from repro.api import locality_sweep_spec, quickstart_spec, run_spec  # noqa: E402
+from repro.service import ServiceClient, serve  # noqa: E402
+
+
+def timed_submit(client: ServiceClient, document: dict, label: str) -> dict:
+    started = perf_counter()
+    job = client.submit(document)["job"]
+    if not job["state"] == "done":
+        job = client.wait(job["id"], timeout=600.0)
+    wall = perf_counter() - started
+    if job["state"] != "done":
+        raise AssertionError(f"{label}: job ended {job['state']}: {job.get('error')}")
+    result_bytes = len(json.dumps(client.result(job["id"])))
+    return {
+        "label": label,
+        "wall_time_s": round(wall, 4),
+        "digest": job["digest"],
+        "cached": job["cached"],
+        "result_bytes": result_bytes,
+    }
+
+
+def run_benchmark(side: int, sweep_sides: tuple, workers: int) -> dict:
+    experiment = quickstart_spec(side=side)
+    digest_mode = experiment.with_collection("digest")
+    sweep = locality_sweep_spec("l1", sides=sweep_sides)
+
+    locals_ = {}
+    for label, spec in (("experiment", experiment), ("sweep", sweep)):
+        started = perf_counter()
+        locals_[label] = {
+            "digest": run_spec(spec).digest(),
+            "wall_time_s": round(perf_counter() - started, 4),
+        }
+
+    runs = []
+    with TemporaryDirectory(prefix="repro-bench-service-") as root:
+        server = serve(root, port=0, workers=workers)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(server.url)
+            for label, spec in (
+                ("experiment", experiment),
+                ("sweep", sweep),
+                ("experiment-digest-mode", digest_mode),
+            ):
+                fresh = timed_submit(client, spec.to_dict(), f"{label}/fresh")
+                cached = timed_submit(client, spec.to_dict(), f"{label}/cached")
+                if not cached["cached"]:
+                    raise AssertionError(f"{label}: resubmission missed the cache")
+                if fresh["digest"] != cached["digest"]:
+                    raise AssertionError(f"{label}: cache returned a different digest")
+                expected = locals_.get(label.split("-")[0])
+                if expected and fresh["digest"] != expected["digest"]:
+                    raise AssertionError(
+                        f"{label}: wire digest {fresh['digest'][:12]} != local "
+                        f"{expected['digest'][:12]}"
+                    )
+                runs.extend([fresh, cached])
+        finally:
+            server.shutdown()
+            server.service.stop_workers()
+            server.server_close()
+            thread.join(timeout=5.0)
+
+    return {
+        "benchmark": "bench_service_roundtrip",
+        "version": repro.__version__,
+        "config": {
+            "side": side,
+            "sweep_sides": list(sweep_sides),
+            "workers": workers,
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "local": locals_,
+        "runs": runs,
+        "digest_equal": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny CI configuration")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_service.json",
+    )
+    args = parser.parse_args(argv)
+    smoke = args.smoke or os.environ.get("REPRO_BENCH_SMOKE")
+    side = 6 if smoke else 12
+    sweep_sides = (8, 12) if smoke else (8, 12, 16, 24)
+    result = run_benchmark(side=side, sweep_sides=sweep_sides, workers=args.workers)
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    for run in result["runs"]:
+        print(
+            f"{run['label']}: wall={run['wall_time_s']}s "
+            f"bytes={run['result_bytes']} digest={run['digest'][:12]}"
+        )
+    for label, local in result["local"].items():
+        print(f"{label}/local: wall={local['wall_time_s']}s")
+    print(f"digest-equal: {result['digest_equal']}  -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

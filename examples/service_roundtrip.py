@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The experiment service, end to end, in one process.
+
+Boots a real :class:`repro.service.ServiceHTTPServer` on an ephemeral
+port, submits the quickstart spec over HTTP, and walks the service's
+three contracts:
+
+1. the digest a worker reports over the wire equals a local run's;
+2. resubmitting the identical document is answered from the result
+   store without executing anything;
+3. a digest-collection submission ships only the composable digest
+   partial, which the client re-folds and verifies during hydration.
+
+Everything is stdlib — the server is ``http.server``, the client is
+``urllib``.  ``python -m repro serve`` runs the same server standalone.
+
+Run with:  python examples/service_roundtrip.py
+"""
+
+from __future__ import annotations
+
+import threading
+from tempfile import TemporaryDirectory
+
+from repro.api import quickstart_spec, run_spec
+from repro.service import ServiceClient, hydrate_digest_result, serve
+
+
+def main() -> None:
+    spec = quickstart_spec()
+    local_digest = run_spec(spec).digest()
+    print(f"local digest:        {local_digest[:16]}")
+
+    with TemporaryDirectory(prefix="repro-service-example-") as root:
+        server = serve(root, port=0, workers=2)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(server.url)
+            print(f"server:              {server.url}")
+
+            # 1. Submit the spec document and follow it to completion.
+            job = client.wait(
+                client.submit(spec.to_dict())["job"]["id"], timeout=120.0
+            )
+            assert job["digest"] == local_digest
+            print(f"over the wire:       {job['digest'][:16]}  ({job['id']})")
+
+            # 2. The identical document again: born done, cached, and the
+            #    executions counter proves nothing ran.
+            cached = client.submit(spec.to_dict())["job"]
+            assert cached["cached"] and cached["digest"] == local_digest
+            executions = client.health()["counts"]["executions"]
+            print(
+                f"resubmission:        cached ({cached['id']}), "
+                f"executions still {executions}"
+            )
+
+            # 3. Digest-collection mode: the result envelope carries the
+            #    composable partial instead of a trace; hydration re-folds
+            #    and verifies it client-side.
+            lean = spec.with_collection("digest")
+            lean_job = client.wait(
+                client.submit(lean.to_dict())["job"]["id"], timeout=120.0
+            )
+            envelope = client.result(lean_job["id"])["envelope"]
+            recorder = hydrate_digest_result(envelope)
+            assert recorder.digest() == lean_job["digest"]
+            print(
+                f"digest-collection:   {recorder.digest()[:16]}  "
+                f"({len(recorder)} events folded, zero trace bytes shipped)"
+            )
+        finally:
+            server.shutdown()
+            server.service.stop_workers()
+            server.server_close()
+            thread.join(timeout=5.0)
+    print("service round-trip ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""CI smoke test for the experiment service (`repro serve`).
+
+Boots the real CLI server as a subprocess, round-trips the golden
+quickstart spec over HTTP, and proves the service's three core
+contracts end to end:
+
+1. the envelope digest the worker reports over the wire equals the
+   digest of the same spec run locally in this process;
+2. resubmitting the identical document is a cache hit — answered from
+   the result store without a second execution;
+3. ``force=true`` bypasses the cache and re-executes, reproducing the
+   same digest.
+
+Exits non-zero (with a diagnostic) on any violation.  Run directly::
+
+    python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from socket import socket
+from tempfile import TemporaryDirectory
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(_SRC))
+
+from repro.api import quickstart_spec, run_spec  # noqa: E402
+from repro.service import ServiceClient, ServiceError  # noqa: E402
+
+
+def free_port() -> int:
+    with socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def wait_for_health(
+    client: ServiceClient, server: subprocess.Popen, deadline: float = 30.0
+) -> dict:
+    started = time.monotonic()
+    while True:
+        if server.poll() is not None:
+            raise RuntimeError(f"server exited early with code {server.returncode}")
+        try:
+            return client.health()
+        except (ServiceError, OSError):
+            if time.monotonic() - started > deadline:
+                raise
+            time.sleep(0.2)
+
+
+def main() -> int:
+    spec = quickstart_spec()
+    local_digest = run_spec(spec).digest()
+    print(f"local digest: {local_digest}")
+
+    port = free_port()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    with TemporaryDirectory(prefix="repro-service-smoke-") as root:
+        server = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                str(port),
+                "--root",
+                root,
+                "--workers",
+                "2",
+            ],
+            env=env,
+        )
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            wait_for_health(client, server)
+
+            def executions() -> int:
+                return client.health()["counts"]["executions"]
+
+            submitted = client.submit(spec.to_dict())["job"]
+            job = client.wait(submitted["id"], timeout=120.0)
+            assert job["state"] == "done", f"fresh run failed: {job}"
+            assert job["digest"] == local_digest, (
+                f"digest over the wire diverged: "
+                f"{job['digest']} != {local_digest}"
+            )
+            assert not job["cached"], "fresh submission must not be cached"
+            envelope = client.result(job["id"])["envelope"]
+            assert envelope["digest"] == local_digest
+            assert executions() == 1, f"expected 1 execution, saw {executions()}"
+            print(f"fresh run: {job['id']} digest matches, 1 execution")
+
+            cached = client.submit(spec.to_dict())["job"]
+            assert cached["state"] == "done" and cached["cached"], (
+                f"identical resubmission was not a cache hit: {cached}"
+            )
+            assert cached["digest"] == local_digest
+            assert executions() == 1, f"cache hit re-executed: {executions()}"
+            print(f"resubmission: {cached['id']} served from store, still 1 execution")
+
+            forced_submit = client.submit(spec.to_dict(), force=True)["job"]
+            forced = client.wait(forced_submit["id"], timeout=120.0)
+            assert forced["state"] == "done" and not forced["cached"]
+            assert forced["digest"] == local_digest
+            assert executions() == 2, f"force did not re-execute: {executions()}"
+            print(f"forced: {forced['id']} re-executed, digest reproduced")
+        finally:
+            server.terminate()
+            server.wait(timeout=10)
+
+    print("service smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

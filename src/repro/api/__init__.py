@@ -52,12 +52,15 @@ from .cache import (
     set_topology_cache_size,
     topology_cache_info,
 )
+from .extractors import EXTRACTOR_KINDS, get_extractor
 from .presets import (
     churn_scenario_description,
     churn_scenario_spec,
     figure_spec,
+    locality_sweep_spec,
     property_sweep_spec,
     quickstart_spec,
+    repair_spec,
     torus_sweep_spec,
 )
 from .result import AggregateSpecification, DecisionResultMixin, Result, json_safe
@@ -106,11 +109,16 @@ __all__ = [
     "clear_topology_cache",
     "set_topology_cache_size",
     "TopologyCacheInfo",
+    # Extractors
+    "EXTRACTOR_KINDS",
+    "get_extractor",
     # Presets
     "quickstart_spec",
     "figure_spec",
     "churn_scenario_spec",
     "churn_scenario_description",
+    "locality_sweep_spec",
     "property_sweep_spec",
+    "repair_spec",
     "torus_sweep_spec",
 ]

@@ -177,6 +177,123 @@ def churn_scenario_description(scenario: str) -> str:
         raise SpecError(f"unknown churn scenario {scenario!r}") from None
 
 
+#: The sides of the EXP-L1 system-size sweep (``--full`` extends it).
+LOCALITY_SIDES = (8, 12, 16, 24, 32)
+LOCALITY_SIDES_FULL = (8, 12, 16, 24, 32, 48, 64)
+
+
+def locality_sweep_spec(
+    exp: str = "l1",
+    sides=None,
+    region_sides=(1, 2, 3, 4),
+    region_side: int = 3,
+    side: int = 32,
+    seed: int = 0,
+    workers: int = 1,
+) -> SweepSpec:
+    """The ``repro locality`` sweeps (EXP-L1 / EXP-L2) as sweep specs.
+
+    Mirrors :func:`~repro.experiments.locality.system_size_sweep` and
+    :func:`~repro.experiments.locality.region_size_sweep` exactly — same
+    torus, block corner, crash spread and jittered detector — so each
+    point's run is digest-identical to the classic code path, and the
+    ``locality`` extractor reproduces the classic cost rows.
+
+    EXP-L1 grows the torus around a fixed block: the width and height
+    move in lockstep through a ``|``-coupled grid axis.  EXP-L2 grows
+    the crashed block inside a fixed torus: the axis varies the failure
+    members.
+    """
+    from ..graph.generators import square_region
+
+    extract = {"kind": "locality"}
+    if exp == "l1":
+        sides = tuple(sides) if sides is not None else LOCALITY_SIDES
+        members = sorted(square_region((1, 1), region_side))
+        template = ExperimentSpec(
+            name=f"exp-l1-block{region_side}",
+            topology=TopologySpec(
+                "torus", {"width": sides[0], "height": sides[0]}
+            ),
+            failure=FailureSpec(
+                "region", {"members": members, "at": 1.0, "spread": 1.0}
+            ),
+            runtime=RuntimeSpec(
+                failure_detector={"kind": "jittered", "low": 0.5, "high": 2.0}
+            ),
+            seed=seed,
+            check=True,
+            extract=extract,
+            labels={"experiment": "EXP-L1", "region_side": region_side},
+        )
+        return SweepSpec(
+            name="exp-l1-system-size",
+            experiment=template,
+            grid={
+                "topology.params.width|topology.params.height": list(sides)
+            },
+            workers=workers,
+        )
+    if exp == "l2":
+        member_sets = [
+            [list(node) for node in sorted(square_region((1, 1), region_side))]
+            for region_side in region_sides
+        ]
+        template = ExperimentSpec(
+            name=f"exp-l2-torus{side}",
+            topology=TopologySpec("torus", {"width": side, "height": side}),
+            failure=FailureSpec(
+                "region", {"members": member_sets[0], "at": 1.0, "spread": 1.0}
+            ),
+            runtime=RuntimeSpec(
+                failure_detector={"kind": "jittered", "low": 0.5, "high": 2.0}
+            ),
+            seed=seed,
+            check=True,
+            extract=extract,
+            labels={"experiment": "EXP-L2", "side": side},
+        )
+        return SweepSpec(
+            name="exp-l2-region-size",
+            experiment=template,
+            grid={"failure.params.members": member_sets},
+            workers=workers,
+        )
+    raise SpecError(f"unknown locality experiment {exp!r}; known: l1, l2")
+
+
+def repair_spec(
+    ring_size: int = 32,
+    successors: int = 2,
+    arc_start: int = 5,
+    arc_length: int = 4,
+    seed: int = 0,
+) -> ExperimentSpec:
+    """The ``repro repair`` run (EXP-R1) as an experiment spec.
+
+    Mirrors :func:`~repro.experiments.overlay_repair.run_overlay_repair`:
+    the ``ring`` topology is exactly
+    :meth:`~repro.repair.RingOverlay.knowledge_graph`, and the ``repair``
+    extractor re-creates the overlay, supplies the
+    :class:`~repro.repair.RingRepairPolicy` decision policy, applies the
+    decided plans and reports the repair verdict — digest-identical to
+    the classic code path.
+    """
+    arc = [(arc_start + offset) % ring_size for offset in range(arc_length)]
+    return ExperimentSpec(
+        name=f"exp-r1-ring{ring_size}-arc{arc_length}",
+        topology=TopologySpec("ring", {"size": ring_size, "successors": successors}),
+        failure=FailureSpec("region", {"members": arc, "at": 1.0, "spread": 0.5}),
+        seed=seed,
+        check=True,
+        extract={
+            "kind": "repair",
+            "params": {"ring_size": ring_size, "successors": successors},
+        },
+        labels={"experiment": "EXP-R1", "arc_start": arc_start},
+    )
+
+
 def property_sweep_spec(
     cases: int = 10, workers: int = 1, churn: bool = False, base_seed: int = 0
 ) -> SweepSpec:

@@ -95,6 +95,23 @@ class ExperimentSession:
         """
         graph, schedule, membership = self.resolve(spec)
         runtime = spec.runtime
+        extractor = None
+        decision_policy = None
+        if spec.extract is not None:
+            from .extractors import get_extractor
+
+            extractor = get_extractor(spec.extract["kind"])
+            decision_policy = extractor.decision_policy(spec, graph)
+            if decision_policy is not None and (
+                runtime.engine != "sim"
+                or runtime.partitions > 1
+                or not spec.membership.is_static
+            ):
+                raise SpecError(
+                    f"extract kind {spec.extract['kind']!r} supplies a "
+                    "decision policy, which only the static single-partition "
+                    "simulator runner supports"
+                )
         if runtime.collection == "digest":
             # RuntimeSpec already pins engine='sim'; the remaining
             # incompatibilities need the resolved scenario to detect.
@@ -177,9 +194,13 @@ class ExperimentSession:
         elif spec.membership.is_static:
             from ..experiments.runner import run_cliff_edge
 
+            policy_kwargs = (
+                {} if decision_policy is None else {"decision_policy": decision_policy}
+            )
             result = run_cliff_edge(
                 graph,
                 schedule,
+                **policy_kwargs,
                 latency=runtime.resolve_latency(),
                 failure_detector=runtime.resolve_failure_detector(),
                 seed=spec.seed,
@@ -215,21 +236,30 @@ class ExperimentSession:
         if spec.name:
             result.labels.setdefault("scenario", spec.name)
         result.labels["spec_digest"] = spec.digest()
+        if extractor is not None:
+            # Post-hoc by construction: the row observes the finished run
+            # (and the policy already shaped the trace), so the digest is
+            # exactly that of the same spec without the extract block.
+            result.labels["extract"] = extractor.row(spec, result)
         return result
 
     # ------------------------------------------------------------------
-    def run_sweep(self, spec: SweepSpec) -> "SweepReport":
+    def run_sweep(self, spec: SweepSpec, progress=None) -> "SweepReport":
         """Execute a sweep spec through the sharded sweep engine.
 
         Experiment-mode sweeps ship their points as serialized specs
         (picklable-by-spec); family-mode sweeps reference a registered
         scenario family by name.  Either way, per-run digests and the
         merged report digest are identical for every ``workers`` count.
+
+        ``progress`` (optional) is called as ``progress(done, total)``
+        after each completed task — the experiment service streams these
+        counts to polling clients; results are unaffected.
         """
         from ..scale import ShardedSweepRunner
 
         runner = ShardedSweepRunner(workers=spec.workers, base_seed=spec.base_seed)
-        report = runner.run(spec.tasks())
+        report = runner.run(spec.tasks(), progress=progress)
         report.labels["spec_digest"] = spec.digest()
         if spec.name:
             report.labels["sweep"] = spec.name

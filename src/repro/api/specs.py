@@ -674,12 +674,24 @@ class ExperimentSpec(_SpecBase):
     early_termination: bool = False
     name: str = ""
     labels: Mapping[str, Any] = field(default_factory=dict)
+    #: Optional result extractor (``{"kind": ..., "params": {...}}``, see
+    #: :mod:`repro.api.extractors`): derives a domain row from the
+    #: finished run (locality cost point, overlay repair verdict) and may
+    #: supply the run's decision policy.  ``None`` — the default — is not
+    #: serialized, so pre-extractor documents and digests are unchanged.
+    extract: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "labels", freeze(self.labels))
+        if self.extract is not None:
+            extract = _require_mapping(self.extract, "ExperimentSpec.extract")
+            _check_keys(extract, _KIND_PARAMS_KEYS, "ExperimentSpec.extract")
+            if not extract.get("kind"):
+                raise SpecError("ExperimentSpec.extract needs a non-empty 'kind'")
+            object.__setattr__(self, "extract", freeze(extract))
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "spec": "experiment",
             "version": SPEC_VERSION,
             "name": self.name,
@@ -693,6 +705,11 @@ class ExperimentSpec(_SpecBase):
             "early_termination": self.early_termination,
             "labels": thaw(self.labels),
         }
+        if self.extract is not None:
+            # Omitted when absent so pre-extractor spec documents (and
+            # their digests) stay byte-identical.
+            data["extract"] = thaw(self.extract)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
@@ -703,7 +720,7 @@ class ExperimentSpec(_SpecBase):
             frozenset(
                 {"spec", "version", "name", "topology", "failure", "membership",
                  "runtime", "seed", "check", "arbitration", "early_termination",
-                 "labels"}
+                 "labels", "extract"}
             ),
             "ExperimentSpec",
         )
@@ -722,6 +739,7 @@ class ExperimentSpec(_SpecBase):
             early_termination=data.get("early_termination", False),
             name=data.get("name", ""),
             labels=data.get("labels", {}),
+            extract=data.get("extract"),
         )
 
     def with_seed(self, seed: int) -> "ExperimentSpec":
@@ -781,9 +799,12 @@ class SweepSpec(_SpecBase):
     * **experiment mode** — ``experiment`` is a template
       :class:`ExperimentSpec`; the sweep is its cross product with
       ``seeds`` and ``grid`` (a mapping of dotted field paths to value
-      lists, e.g. ``{"topology.params.width": [8, 16]}``).  Tasks cross
-      process boundaries as *specs* (picklable-by-spec), not as
-      registered family names.
+      lists, e.g. ``{"topology.params.width": [8, 16]}``).  A ``|``
+      inside a path couples several fields into *one* axis that moves in
+      lockstep — ``{"topology.params.width|topology.params.height":
+      [8, 16]}`` sweeps square tori, not a width × height product.
+      Tasks cross process boundaries as *specs* (picklable-by-spec),
+      not as registered family names.
     * **family mode** — ``family`` names a registered scenario family
       (:mod:`repro.scale.families`) and the sweep is one task per seed;
       this covers the seed-randomised EXP-C1 property sweeps whose whole
@@ -872,11 +893,15 @@ class SweepSpec(_SpecBase):
         points: list[dict[str, Any]] = [self.experiment.to_dict()]
         for path in sorted(self.grid):
             values = self.grid[path]
+            # "a|b" couples several dotted paths into one lockstep axis:
+            # every coupled field receives the same value per point.
+            coupled = path.split("|")
             next_points = []
             for point in points:
                 for value in values:
                     copy = json.loads(json.dumps(point))
-                    _override(copy, path, value)
+                    for sub_path in coupled:
+                        _override(copy, sub_path, value)
                     next_points.append(copy)
             points = next_points
         if "seed" in self.grid:

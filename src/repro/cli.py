@@ -125,7 +125,14 @@ def _cmd_figure(args: argparse.Namespace, write: Callable[[str], object]) -> int
 
 
 def _cmd_locality(args: argparse.Namespace, write: Callable[[str], object]) -> int:
+    from .api import locality_sweep_spec
+
     sides = (8, 12, 16, 24, 32) if not args.full else (8, 12, 16, 24, 32, 48, 64)
+    if args.emit_spec:
+        # One declarative document per experiment: EXP-L1 varies the
+        # torus through a width|height-coupled axis, EXP-L2 the block.
+        write(locality_sweep_spec(args.exp, sides=sides, seed=args.seed).to_json())
+        return 0
     points = system_size_sweep(sides=sides, seed=args.seed)
     write(format_table([p.as_row() for p in points], title="EXP-L1: cost vs system size"))
     write(f"flat across system sizes: {locality_is_flat(points)}")
@@ -140,6 +147,19 @@ def _cmd_locality(args: argparse.Namespace, write: Callable[[str], object]) -> i
 
 
 def _cmd_repair(args: argparse.Namespace, write: Callable[[str], object]) -> int:
+    if args.emit_spec:
+        from .api import repair_spec
+
+        write(
+            repair_spec(
+                ring_size=args.ring_size,
+                successors=2,
+                arc_start=args.arc_start,
+                arc_length=args.arc_length,
+                seed=args.seed,
+            ).to_json()
+        )
+        return 0
     run = run_overlay_repair(
         ring_size=args.ring_size,
         successors=2,
@@ -334,6 +354,173 @@ def _cmd_report(args: argparse.Namespace, write: Callable[[str], object]) -> int
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Experiment service commands
+# ---------------------------------------------------------------------------
+def _server_url(args: argparse.Namespace) -> str:
+    """Resolve the server URL: ``--server`` > ``$REPRO_SERVER`` > default."""
+    import os
+
+    from .service import DEFAULT_URL
+
+    if getattr(args, "server", None):
+        return args.server
+    return os.environ.get("REPRO_SERVER", DEFAULT_URL)
+
+
+def _format_job(job: dict) -> str:
+    progress = job.get("progress", {})
+    done, total = progress.get("done", 0), progress.get("total", 1)
+    parts = [
+        f"job {job['id']}",
+        f"state={job['state']}",
+        f"progress={done}/{total}",
+        f"spec={job['spec_digest'][:12]}",
+        f"seed={job['seed']}",
+    ]
+    if job.get("cached"):
+        parts.append("cached")
+    if job.get("digest"):
+        parts.append(f"digest={job['digest'][:12]}")
+    if job.get("error"):
+        parts.append(f"error={job['error'].splitlines()[-1]}")
+    return "  ".join(parts)
+
+
+def _cmd_serve(args: argparse.Namespace, write: Callable[[str], object]) -> int:
+    from .service import serve
+
+    server = serve(
+        args.root,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        verbose=args.verbose,
+    )
+    write(
+        f"experiment server listening on {server.url} "
+        f"(root={args.root}, workers={args.workers})"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+    finally:
+        server.service.stop_workers()
+        server.server_close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace, write: Callable[[str], object]) -> int:
+    from .api import SpecError
+    from .service import ServiceClient, ServiceError
+
+    text = _read_spec_text(args.spec)
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"spec document is not valid JSON: {exc}") from exc
+    client = ServiceClient(_server_url(args))
+    response = client.submit(document, force=args.force)
+    job = response["job"]
+    if args.wait and not job["state"] in ("done", "failed"):
+        try:
+            job = client.wait(job["id"], timeout=args.timeout)
+        except ServiceError as exc:
+            write(str(exc))
+            return 1
+    if args.json:
+        _write_json(write, {"job": job, "created": response["created"]})
+    else:
+        write(_format_job(job))
+        if job["state"] == "done" and job.get("cached"):
+            write("served from the result store (identical submission)")
+    if job["state"] == "failed":
+        return 1
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace, write: Callable[[str], object]) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(_server_url(args))
+    if args.job is None:
+        jobs = client.jobs(state=args.state)
+        if args.json:
+            _write_json(write, {"jobs": jobs})
+        elif not jobs:
+            write("no jobs")
+        else:
+            for job in jobs:
+                write(_format_job(job))
+        return 0
+    if args.watch:
+        job = None
+        for job in client.events(args.job, timeout=args.timeout):
+            write(_format_job(job))
+        return 0 if job is not None and job["state"] == "done" else 1
+    job = client.job(args.job)
+    if args.json:
+        _write_json(write, {"job": job})
+    else:
+        write(_format_job(job))
+    return 0 if job["state"] != "failed" else 1
+
+
+def _cmd_result(args: argparse.Namespace, write: Callable[[str], object]) -> int:
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(_server_url(args))
+    try:
+        response = client.result(args.job)
+    except ServiceError as exc:
+        if getattr(exc, "status", None) == 409 and args.wait:
+            client.wait(args.job, timeout=args.timeout)
+            response = client.result(args.job)
+        else:
+            write(str(exc))
+            return 1
+    envelope = response["envelope"]
+    if args.json:
+        _write_json(write, response)
+        return 0
+    job = response["job"]
+    write(_format_job(job))
+    write(f"kind: {envelope['kind']}  digest: {envelope['digest']}")
+    summary = envelope.get("result", {}).get("summary")
+    if isinstance(summary, dict):
+        for key in sorted(summary):
+            write(f"  {key}: {summary[key]}")
+    if "digest_state" in envelope:
+        from .service import hydrate_digest_result
+
+        recorder = hydrate_digest_result(envelope)
+        write(
+            f"digest-partial verified: {len(recorder)} events fold to "
+            f"{recorder.digest()[:12]} (no event log crossed the wire)"
+        )
+    return 0
+
+
+def _cmd_work(args: argparse.Namespace, write: Callable[[str], object]) -> int:
+    from .service import ServiceClient, WorkerLoop
+
+    client = ServiceClient(_server_url(args), timeout=args.timeout)
+    loop = WorkerLoop(
+        client,
+        name=args.name,
+        poll_interval=args.poll_interval,
+        drain=args.drain,
+    )
+    write(f"worker {args.name!r} polling {client.base_url}")
+    try:
+        loop.run()
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+    write(f"worker {args.name!r}: {loop.completed} completed, {loop.failed} failed")
+    return 0 if loop.failed == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     from . import __version__
 
@@ -382,12 +569,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     locality = sub.add_parser("locality", help="EXP-L1/EXP-L2 locality sweeps")
     locality.add_argument("--full", action="store_true", help="sweep up to 4096 nodes")
+    locality.add_argument(
+        "--exp",
+        choices=["l1", "l2"],
+        default="l1",
+        help="which experiment --emit-spec describes: l1 (system size) "
+        "or l2 (region size)",
+    )
+    locality.add_argument(
+        "--emit-spec",
+        action="store_true",
+        dest="emit_spec",
+        help="print the declarative sweep spec JSON reproducing the "
+        "selected experiment (pipe into `repro sweep --spec -`) instead "
+        "of running it",
+    )
     locality.set_defaults(func=_cmd_locality)
 
     repair = sub.add_parser("repair", help="end-to-end overlay repair demo")
     repair.add_argument("--ring-size", type=int, default=32)
     repair.add_argument("--arc-start", type=int, default=5)
     repair.add_argument("--arc-length", type=int, default=4)
+    repair.add_argument(
+        "--emit-spec",
+        action="store_true",
+        dest="emit_spec",
+        help="print the declarative spec JSON reproducing this repair run "
+        "(pipe into `repro run -`) instead of running it",
+    )
     repair.set_defaults(func=_cmd_repair)
 
     sweep = sub.add_parser("sweep", help="EXP-C1 adversarial property sweep")
@@ -492,6 +701,129 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--quick", action="store_true")
     report.add_argument("--markdown", action="store_true")
     report.set_defaults(func=_cmd_report)
+
+    # -- experiment service -------------------------------------------
+    def _add_server_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--server",
+            default=None,
+            help="experiment server URL (default: $REPRO_SERVER or "
+            "http://127.0.0.1:8787)",
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the experiment server (submit specs over HTTP, results "
+        "cached by spec digest)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8787, help="listen port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--root",
+        default=".repro-service",
+        help="state directory for the job ledger and result store",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="in-process worker threads (0 = remote workers only, "
+        "see `repro work`)",
+    )
+    serve.add_argument("--verbose", action="store_true", help="log HTTP requests")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a spec document to the experiment server"
+    )
+    submit.add_argument(
+        "spec", help="path to a spec JSON file, or '-' to read from stdin"
+    )
+    submit.add_argument(
+        "--force",
+        action="store_true",
+        help="bypass the result cache and re-execute even if an identical "
+        "submission is already stored",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="follow the job until it finishes instead of returning the id",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0, help="--wait timeout (seconds)"
+    )
+    submit.add_argument("--json", action="store_true", help="print the job as JSON")
+    _add_server_flag(submit)
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser("status", help="poll job state on the experiment server")
+    status.add_argument(
+        "job", nargs="?", default=None, help="job id (omit to list every job)"
+    )
+    status.add_argument(
+        "--state",
+        choices=["queued", "running", "done", "failed"],
+        default=None,
+        help="when listing, filter by state",
+    )
+    status.add_argument(
+        "--watch",
+        action="store_true",
+        help="stream progress updates (completed-task counts) until the "
+        "job finishes",
+    )
+    status.add_argument(
+        "--timeout", type=float, default=300.0, help="--watch window (seconds)"
+    )
+    status.add_argument("--json", action="store_true")
+    _add_server_flag(status)
+    status.set_defaults(func=_cmd_status)
+
+    result = sub.add_parser(
+        "result", help="fetch a finished job's digest-verified result"
+    )
+    result.add_argument("job", help="job id")
+    result.add_argument(
+        "--wait",
+        action="store_true",
+        help="if the job is still running, wait for it first",
+    )
+    result.add_argument(
+        "--timeout", type=float, default=600.0, help="--wait timeout (seconds)"
+    )
+    result.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full {job, spec, envelope} document as JSON",
+    )
+    _add_server_flag(result)
+    result.set_defaults(func=_cmd_result)
+
+    work = sub.add_parser(
+        "work",
+        help="run a worker against a (possibly remote) experiment server",
+    )
+    work.add_argument("--name", default="worker", help="reported worker name")
+    work.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit when the queue is empty instead of polling forever",
+    )
+    work.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        dest="poll_interval",
+        help="seconds between claims when the queue is empty",
+    )
+    work.add_argument(
+        "--timeout", type=float, default=60.0, help="per-request HTTP timeout"
+    )
+    _add_server_flag(work)
+    work.set_defaults(func=_cmd_work)
 
     return parser
 

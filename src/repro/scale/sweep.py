@@ -42,7 +42,7 @@ from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 from ..trace.digest import combine_digests
 from .families import get_family, run_task
@@ -176,6 +176,15 @@ class SweepReport:
                     digest=outcome.digest,
                     wall_time=outcome.wall_time,
                     violations=list(outcome.violations),
+                    # Extractor rows (locality cost points, repair
+                    # verdicts) ride along only when the run's spec
+                    # carried an extract block — absent otherwise, so
+                    # pre-extractor payload shapes are unchanged.
+                    **(
+                        {"extract": json_safe(outcome.labels["extract"])}
+                        if "extract" in outcome.labels
+                        else {}
+                    ),
                 )
                 for outcome in self.outcomes
             ],
@@ -220,8 +229,19 @@ class ShardedSweepRunner:
             return task.seed
         return derive_seed(self.base_seed, index, task.family, task.params)
 
-    def run(self, tasks: Iterable[SweepTask]) -> SweepReport:
-        """Execute every task and merge outcomes in submission order."""
+    def run(
+        self,
+        tasks: Iterable[SweepTask],
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> SweepReport:
+        """Execute every task and merge outcomes in submission order.
+
+        ``progress`` (optional) is called as ``progress(done, total)``
+        each time a task completes — inline after each run, pooled from a
+        completion callback (so it may fire from a pool-management
+        thread).  It observes timing only; results, seeds and digests are
+        identical with or without it.
+        """
         task_list = list(tasks)
         started = perf_counter()
         # Fail fast on unknown families *before* spinning up a pool.
@@ -236,9 +256,9 @@ class ShardedSweepRunner:
                 wall_time=perf_counter() - started,
             )
         if self.workers <= 1 or len(task_list) == 1:
-            outcomes = self._run_inline(task_list, seeds)
+            outcomes = self._run_inline(task_list, seeds, progress)
         else:
-            outcomes = self._run_pooled(task_list, seeds)
+            outcomes = self._run_pooled(task_list, seeds, progress)
         return SweepReport(
             outcomes=tuple(outcomes),
             workers=self.workers,
@@ -248,10 +268,14 @@ class ShardedSweepRunner:
 
     # ------------------------------------------------------------------
     def _run_inline(
-        self, tasks: Sequence[SweepTask], seeds: Sequence[int]
+        self,
+        tasks: Sequence[SweepTask],
+        seeds: Sequence[int],
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> list[SweepOutcome]:
         """The single-worker fallback: same seeds, no pool."""
         outcomes = []
+        total = len(tasks)
         for index, (task, seed) in enumerate(zip(tasks, seeds)):
             try:
                 outcomes.append(_execute_indexed(task, index, seed))
@@ -259,6 +283,8 @@ class ShardedSweepRunner:
                 raise
             except BaseException as exc:
                 raise SweepTaskError(task, index, repr(exc), seed=seed) from exc
+            if progress is not None:
+                progress(index + 1, total)
         return outcomes
 
     def _make_executor(self) -> ProcessPoolExecutor:
@@ -268,14 +294,36 @@ class ShardedSweepRunner:
         )
 
     def _run_pooled(
-        self, tasks: Sequence[SweepTask], seeds: Sequence[int]
+        self,
+        tasks: Sequence[SweepTask],
+        seeds: Sequence[int],
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> list[SweepOutcome]:
         executor = self._make_executor()
         futures = {}
         wait_on_exit = True
+        total = len(tasks)
+        if progress is not None:
+            import threading
+
+            completed = [0]
+            progress_lock = threading.Lock()
+
+            def _tick(_future) -> None:
+                # Fires on the pool's completion thread; count every
+                # settled future (cancelled/failed included) so the
+                # denominator stays honest even on error paths.
+                with progress_lock:
+                    completed[0] += 1
+                    done_now = completed[0]
+                progress(done_now, total)
+
         try:
             for index, (task, seed) in enumerate(zip(tasks, seeds)):
-                futures[executor.submit(_execute_indexed, task, index, seed)] = index
+                future = executor.submit(_execute_indexed, task, index, seed)
+                if progress is not None:
+                    future.add_done_callback(_tick)
+                futures[future] = index
             # Wait for everything, stopping at the first failure so a
             # crashed worker does not stall the sweep behind queued work.
             done, not_done = wait(futures, return_when=FIRST_EXCEPTION)

@@ -1,0 +1,216 @@
+"""The HTTP client of the experiment service (stdlib ``urllib`` only).
+
+:class:`ServiceClient` is both the *user's* client (submit / status /
+result, used by ``repro submit`` and :mod:`repro.service` examples) and
+the *worker's* broker (claim / progress / complete / fail — the same
+four methods :class:`~repro.service.worker.LocalBroker` implements
+in-process), so ``repro work --server URL`` turns any machine into a
+worker with zero extra protocol.
+
+:func:`hydrate_digest_result` is the client side of the digest-partial
+channel: a digest-collection run's envelope carries the composable
+digest partial, and the client rebuilds a sealed digest-mode
+:class:`~repro.trace.recorder.TraceRecorder` from it — then *proves* the
+rebuild by folding the partial and comparing it to the claimed digest.
+Two processes that never shared memory agree on the run purely through
+the digest protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Iterator, Mapping, Optional
+
+from .protocol import ServiceError
+
+DEFAULT_URL = "http://127.0.0.1:8787"
+
+
+class ServiceClient:
+    """JSON-over-HTTP access to a running experiment server."""
+
+    def __init__(self, base_url: str = DEFAULT_URL, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            payload: Any = None
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+                detail = payload.get("error", "")
+            except Exception:
+                pass
+            error = ServiceError(
+                f"{method} {path} -> HTTP {exc.code}" + (f": {detail}" if detail else "")
+            )
+            error.status = exc.code  # type: ignore[attr-defined]
+            error.payload = payload  # type: ignore[attr-defined]
+            raise error from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach experiment server at {self.base_url} ({exc.reason})"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # The user-facing surface
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/api/health")
+
+    def submit(
+        self, document: Mapping[str, Any], force: bool = False
+    ) -> dict[str, Any]:
+        """Submit a spec document; returns ``{"job": ..., "created": ...}``."""
+        return self._request(
+            "POST", "/api/jobs", body={"spec": document, "force": force}
+        )
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/api/jobs/{job_id}")["job"]
+
+    def jobs(self, state: Optional[str] = None) -> list[dict[str, Any]]:
+        path = "/api/jobs" + (f"?state={state}" if state else "")
+        return self._request("GET", path)["jobs"]
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """The finished job's ``{"job", "spec", "envelope"}`` document.
+
+        Raises :class:`ServiceError` with ``status == 409`` while the
+        job is still queued or running.
+        """
+        return self._request("GET", f"/api/jobs/{job_id}/result")
+
+    def events(
+        self, job_id: str, timeout: float = 30.0
+    ) -> Iterator[dict[str, Any]]:
+        """Stream job snapshots (NDJSON) until terminal or timeout."""
+        url = f"{self.base_url}/api/jobs/{job_id}/events?timeout={timeout}"
+        request = urllib.request.Request(url, headers={"Accept": "application/x-ndjson"})
+        try:
+            with urllib.request.urlopen(request, timeout=timeout + 10.0) as response:
+                for raw in response:
+                    line = raw.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(
+                f"events stream for {job_id} -> HTTP {exc.code}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach experiment server at {self.base_url} ({exc.reason})"
+            ) from exc
+
+    def wait(self, job_id: str, timeout: float = 300.0) -> dict[str, Any]:
+        """Follow the event stream until the job is terminal.
+
+        Returns the terminal job record; raises on timeout.  Stream
+        windows shorter than ``timeout`` are re-opened, so the wait
+        survives the server's per-request streaming cap.
+        """
+        remaining = timeout
+        last: Optional[dict[str, Any]] = None
+        while remaining > 0:
+            window = min(remaining, 30.0)
+            for snapshot in self.events(job_id, timeout=window):
+                last = snapshot
+                if snapshot["state"] in ("done", "failed"):
+                    return snapshot
+            remaining -= window
+        raise ServiceError(
+            f"timed out after {timeout}s waiting for job {job_id} "
+            f"(last state: {last['state'] if last else 'unknown'})"
+        )
+
+    # ------------------------------------------------------------------
+    # The worker-facing surface (the HTTP Broker)
+    # ------------------------------------------------------------------
+    def claim(self, worker: str):
+        response = self._request(
+            "POST", "/api/workers/claim", body={"worker": worker}
+        )
+        if response.get("job") is None:
+            return None
+        return response["job"], response["spec"]
+
+    def progress(self, job_id: str, done: int, total: int) -> None:
+        self._request(
+            "POST",
+            f"/api/jobs/{job_id}/progress",
+            body={"done": done, "total": total},
+        )
+
+    def complete(self, job_id: str, envelope: Mapping[str, Any]) -> None:
+        self._request(
+            "POST", f"/api/jobs/{job_id}/complete", body={"envelope": envelope}
+        )
+
+    def fail(self, job_id: str, error: str) -> None:
+        self._request("POST", f"/api/jobs/{job_id}/fail", body={"error": error})
+
+
+# ---------------------------------------------------------------------------
+# Digest-partial hydration
+# ---------------------------------------------------------------------------
+def hydrate_digest_result(envelope: Mapping[str, Any]):
+    """Rebuild a sealed digest-mode recorder from a result envelope.
+
+    Only digest-collection experiment envelopes carry the composable
+    partial (``digest_state``).  The returned
+    :class:`~repro.trace.recorder.TraceRecorder` is sealed and
+    digest-verified: its digest — folded locally from the shipped
+    partial — must equal the envelope's claimed digest, or this raises.
+    Scalar metrics and decisions stay in ``envelope["result"]`` (the
+    JSON payload); the event log never crossed the wire, by design.
+    """
+    state = envelope.get("digest_state")
+    if state is None:
+        raise ServiceError(
+            "envelope has no digest_state (only digest-collection "
+            "experiment runs ship the composable partial)"
+        )
+    from ..trace.digest import hex_of_partial
+    from ..trace.metrics import StreamingRunMetrics
+    from ..trace.recorder import TraceRecorder
+
+    partial = int(state["partial"], 16)
+    derived = hex_of_partial(partial)
+    claimed = envelope.get("digest")
+    if derived != claimed:
+        raise ServiceError(
+            f"digest hydration failed: shipped partial folds to "
+            f"{derived[:12]}… but the envelope claims {str(claimed)[:12]}…"
+        )
+    recorder = TraceRecorder.from_digest_state(
+        partial=partial,
+        events=int(state["events"]),
+        retained=(),
+        metrics=StreamingRunMetrics(),
+        end_time=float(state["end_time"]),
+    )
+    return recorder

@@ -1,0 +1,393 @@
+"""The experiment server: specs in, digest-verified results out.
+
+Two layers live here:
+
+* :class:`ExperimentService` — the transport-free core.  It owns the
+  job ledger, the digest-keyed result store and the local worker pool,
+  and implements the submission contract: an identical resubmission is
+  answered from the store (digest-verified on read) without executing
+  anything; ``force=True`` bypasses the cache; a corrupt store entry is
+  detected, evicted and recomputed.
+* :class:`ServiceHTTPServer` / :class:`_Handler` — a thin JSON-over-HTTP
+  skin (stdlib ``http.server``, threaded) exposing the service to
+  clients and to remote workers.  Every route body is one call into the
+  core; all state lives in the core, so the HTTP layer is stateless and
+  each request thread independent.
+
+Routes
+------
+::
+
+    GET  /api/health                    server + ledger + store counters
+    POST /api/jobs                      submit {"spec": ..., "force": bool}
+    GET  /api/jobs[?state=...]          list jobs
+    GET  /api/jobs/<id>                 one job record
+    GET  /api/jobs/<id>/result          result envelope (409 until done)
+    GET  /api/jobs/<id>/events          NDJSON progress stream
+    POST /api/workers/claim             remote worker: next job + spec
+    POST /api/jobs/<id>/progress        remote worker: task counts
+    POST /api/jobs/<id>/complete        remote worker: result envelope
+    POST /api/jobs/<id>/fail            remote worker: error report
+
+``/complete`` is the trust boundary: the envelope is digest-verified
+(:func:`~repro.service.protocol.verify_envelope`) and durably stored
+*before* the ledger marks the job done — a worker cannot hand the server
+a result whose digest its own payload does not support.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Mapping, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from ..api import SpecError, SweepSpec
+from .ledger import JobLedger
+from .protocol import (
+    SERVICE_VERSION,
+    JobRecord,
+    ServiceError,
+    job_key,
+    spec_from_document,
+    spec_seed,
+    verify_envelope,
+)
+from .store import ResultStore, StoreCorruption
+from .worker import LocalBroker, WorkerLoop
+
+DEFAULT_PORT = 8787
+
+
+class ExperimentService:
+    """The transport-free service core (ledger + store + worker pool)."""
+
+    def __init__(self, root: Path | str, workers: int = 1) -> None:
+        self.root = Path(root)
+        self.ledger = JobLedger(self.root / "ledger")
+        self.store = ResultStore(self.root / "store")
+        self.workers = max(int(workers), 0)
+        self._broker = LocalBroker(self.ledger, self.store)
+        self._loops: list[WorkerLoop] = []
+        self._threads: list[threading.Thread] = []
+        #: Store entries that failed verification and were evicted.
+        self.corruptions = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start_workers(self) -> None:
+        for index in range(self.workers):
+            loop = WorkerLoop(self._broker, name=f"local-{index}")
+            thread = threading.Thread(
+                target=loop.run, name=f"repro-worker-{index}", daemon=True
+            )
+            self._loops.append(loop)
+            self._threads.append(thread)
+            thread.start()
+
+    def stop_workers(self) -> None:
+        for loop in self._loops:
+            loop.stop()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._loops.clear()
+        self._threads.clear()
+
+    # ------------------------------------------------------------------
+    # The submission contract
+    # ------------------------------------------------------------------
+    def submit(
+        self, document: Mapping[str, Any], force: bool = False
+    ) -> tuple[JobRecord, bool]:
+        """Submit a spec document; returns ``(job, created)``.
+
+        The spec is parsed (and therefore validated) before anything is
+        recorded; its canonical digest and seed form the store key.  A
+        verified store hit short-circuits to a ``done``/``cached`` job;
+        a corrupt entry is evicted and the job queued for recompute.
+        """
+        spec = spec_from_document(document)
+        key = job_key(spec)
+        kind = "sweep" if isinstance(spec, SweepSpec) else "experiment"
+        total = len(spec.tasks()) if isinstance(spec, SweepSpec) else 1
+        cached_digest: Optional[str] = None
+        if not force:
+            try:
+                entry = self.store.get(key)
+            except StoreCorruption:
+                self.corruptions += 1
+                self.store.evict(key)
+            else:
+                if entry is not None:
+                    cached_digest = entry.digest
+        return self.ledger.submit(
+            key=key,
+            spec_digest=spec.digest(),
+            seed=spec_seed(spec),
+            kind=kind,
+            spec=dict(spec.to_dict()),
+            total=total,
+            force=force,
+            cached_digest=cached_digest,
+        )
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """The stored result envelope of a finished job.
+
+        The entry is digest-verified on this read too — fetching a
+        result re-proves it, every time.
+        """
+        job = self.ledger.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        if job.state == "failed":
+            raise ServiceError(f"job {job_id} failed: {job.error}")
+        if job.state != "done":
+            raise _NotDone(job)
+        entry = self.store.get(job.key)
+        if entry is None:
+            raise ServiceError(
+                f"job {job_id} is done but its store entry {job.key} is "
+                "missing; resubmit to recompute"
+            )
+        return {"job": job.to_dict(), "spec": entry.spec, "envelope": entry.envelope}
+
+    def complete_job(self, job_id: str, envelope: Mapping[str, Any]) -> JobRecord:
+        """A worker's completion report (local or over the wire)."""
+        verify_envelope(envelope)
+        job = self.ledger.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        spec = self.ledger.spec_of(job_id)
+        if spec is not None:
+            self.store.put(job.key, spec, envelope)
+        return self.ledger.complete(job_id, envelope["digest"])
+
+    def health(self) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "version": SERVICE_VERSION,
+            "workers": self.workers,
+            "counts": self.ledger.counts(),
+            "store_entries": len(self.store),
+            "corruptions": self.corruptions,
+        }
+
+
+class _NotDone(ServiceError):
+    """Raised by ``result`` while the job is still in flight (HTTP 409)."""
+
+    def __init__(self, job: JobRecord) -> None:
+        super().__init__(f"job {job.id} is {job.state}")
+        self.job = job
+
+
+# ---------------------------------------------------------------------------
+# HTTP layer
+# ---------------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-experiment-service"
+
+    @property
+    def service(self) -> ExperimentService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, document: Any) -> None:
+        body = json.dumps(document, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str, **extra: Any) -> None:
+        self._send_json(status, {"error": message, **extra})
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+
+    # -- routing --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route("POST")
+
+    def _route(self, method: str) -> None:
+        split = urlsplit(self.path)
+        parts = [part for part in split.path.split("/") if part]
+        query = parse_qs(split.query)
+        try:
+            self._dispatch(method, parts, query)
+        except _NotDone as exc:
+            self._send_error_json(409, str(exc), job=exc.job.to_dict())
+        except SpecError as exc:
+            self._send_error_json(400, str(exc))
+        except ServiceError as exc:
+            status = 404 if "unknown job" in str(exc) else 500
+            self._send_error_json(status, str(exc))
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(500, f"internal error: {exc!r}")
+
+    def _dispatch(self, method: str, parts: list[str], query: dict) -> None:
+        service = self.service
+        if parts[:1] != ["api"]:
+            self._send_error_json(404, f"no such route {self.path!r}")
+            return
+        rest = parts[1:]
+        if method == "GET" and rest == ["health"]:
+            self._send_json(200, service.health())
+            return
+        if rest[:1] == ["jobs"]:
+            self._dispatch_jobs(method, rest[1:], query)
+            return
+        if method == "POST" and rest == ["workers", "claim"]:
+            body = self._read_body()
+            worker = str(body.get("worker") or "remote")
+            claimed = service.ledger.claim(worker)
+            if claimed is None:
+                self._send_json(200, {"job": None})
+                return
+            job, spec = claimed
+            self._send_json(200, {"job": job.to_dict(), "spec": spec})
+            return
+        self._send_error_json(404, f"no such route {self.path!r}")
+
+    def _dispatch_jobs(self, method: str, rest: list[str], query: dict) -> None:
+        service = self.service
+        if method == "POST" and not rest:
+            body = self._read_body()
+            document = body.get("spec")
+            if document is None:
+                raise ServiceError('submission body needs a "spec" document')
+            force = bool(body.get("force", False))
+            job, created = service.submit(document, force=force)
+            self._send_json(
+                202 if not job.terminal else 200,
+                {"job": job.to_dict(), "created": created},
+            )
+            return
+        if method == "GET" and not rest:
+            state = query.get("state", [None])[0]
+            jobs = [job.to_dict() for job in service.ledger.jobs(state)]
+            self._send_json(200, {"jobs": jobs})
+            return
+        if not rest:
+            self._send_error_json(405, f"{method} not allowed on /api/jobs")
+            return
+        job_id, action = rest[0], rest[1:]
+        if method == "GET" and not action:
+            job = service.ledger.get(job_id)
+            if job is None:
+                self._send_error_json(404, f"unknown job {job_id!r}")
+                return
+            self._send_json(200, {"job": job.to_dict()})
+            return
+        if method == "GET" and action == ["result"]:
+            self._send_json(200, service.result(job_id))
+            return
+        if method == "GET" and action == ["events"]:
+            timeout = float(query.get("timeout", ["30"])[0])
+            self._stream_events(job_id, min(max(timeout, 0.0), 300.0))
+            return
+        if method == "POST" and action == ["progress"]:
+            body = self._read_body()
+            job = service.ledger.report_progress(
+                job_id, int(body.get("done", 0)), int(body.get("total", 1))
+            )
+            self._send_json(200, {"job": job.to_dict()})
+            return
+        if method == "POST" and action == ["complete"]:
+            body = self._read_body()
+            envelope = body.get("envelope")
+            if not isinstance(envelope, dict):
+                raise ServiceError('completion body needs an "envelope"')
+            job = service.complete_job(job_id, envelope)
+            self._send_json(200, {"job": job.to_dict()})
+            return
+        if method == "POST" and action == ["fail"]:
+            body = self._read_body()
+            job = service.ledger.fail(job_id, str(body.get("error", "")))
+            self._send_json(200, {"job": job.to_dict()})
+            return
+        self._send_error_json(404, f"no such route {self.path!r}")
+
+    def _stream_events(self, job_id: str, timeout: float) -> None:
+        """NDJSON progress stream: one job snapshot per mutation."""
+        service = self.service
+        if service.ledger.get(job_id) is None:
+            self._send_error_json(404, f"unknown job {job_id!r}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        # Chunked would need manual framing under HTTP/1.1; close-delimited
+        # is simpler and every stdlib/urllib client handles it.
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            for job in service.ledger.iter_updates(job_id, timeout=timeout):
+                line = json.dumps(job.to_dict(), sort_keys=True) + "\n"
+                self.wfile.write(line.encode("utf-8"))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass
+        self.close_connection = True
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`ExperimentService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        service: ExperimentService,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.verbose = verbose
+        super().__init__((host, port), _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def serve(
+    root: Path | str,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    workers: int = 1,
+    verbose: bool = False,
+) -> ServiceHTTPServer:
+    """Build a ready-to-run server (workers started, not yet serving).
+
+    Callers own the serve loop: ``server.serve_forever()`` to block, or
+    drive it from a thread in tests.  ``port=0`` binds an ephemeral port
+    (``server.url`` reports the real one).
+    """
+    service = ExperimentService(root, workers=workers)
+    service.start_workers()
+    return ServiceHTTPServer(service, host=host, port=port, verbose=verbose)

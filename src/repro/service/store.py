@@ -1,0 +1,169 @@
+"""The digest-keyed durable result store.
+
+One JSON file per completed submission, named by the store key
+(``<spec-digest>x<seed>``, see :func:`repro.service.protocol.job_key`).
+Each entry carries the spec document, the result envelope and a checksum
+— the canonical digest of the entry's verifiable core — so a read
+*proves* the bytes on disk still describe the result that was stored:
+
+* a corrupted or truncated file fails JSON parsing or the checksum and
+  is treated as absent (and reported, so the server can recompute);
+* the result envelope is re-verified through the digest protocol
+  (:func:`repro.service.protocol.verify_envelope`) on every read, not
+  just on write.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed server never
+leaves a half-written entry that later poisons the cache, and concurrent
+writers of the *same* key converge on one intact entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Optional
+
+from .protocol import SERVICE_VERSION, ServiceError, verify_envelope
+
+
+def _entry_checksum(spec: Mapping[str, Any], envelope: Mapping[str, Any]) -> str:
+    """Canonical checksum binding an entry's spec to its result."""
+    from ..trace.digest import canonical_text
+
+    core = {"spec": spec, "envelope": envelope}
+    # freeze() normalises dict ordering so the checksum is independent of
+    # how the JSON happened to be written down.
+    from ..api.specs import freeze
+
+    text = canonical_text(freeze(core))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One verified result-store record."""
+
+    key: str
+    spec: Mapping[str, Any]
+    envelope: Mapping[str, Any]
+    stored_at: float
+
+    @property
+    def digest(self) -> str:
+        return self.envelope["digest"]
+
+
+class StoreCorruption(ServiceError):
+    """A store entry failed checksum or digest verification."""
+
+
+class ResultStore:
+    """Durable ``key -> (spec, result envelope)`` mapping on disk."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        if not key or "/" in key or key.startswith("."):
+            raise ServiceError(f"malformed store key {key!r}")
+        return self.root / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def keys(self) -> Iterator[str]:
+        for path in sorted(self.root.glob("*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        key: str,
+        spec: Mapping[str, Any],
+        envelope: Mapping[str, Any],
+    ) -> StoreEntry:
+        """Store (or overwrite) a verified result entry atomically."""
+        verify_envelope(envelope)
+        entry = {
+            "version": SERVICE_VERSION,
+            "key": key,
+            "spec": spec,
+            "envelope": envelope,
+            "checksum": _entry_checksum(spec, envelope),
+            "stored_at": time.time(),
+        }
+        path = self._path(key)
+        text = json.dumps(entry, indent=2, sort_keys=True)
+        with self._lock:
+            fd, temp_name = tempfile.mkstemp(
+                dir=self.root, prefix=f".{key[:16]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(text)
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        return StoreEntry(
+            key=key, spec=spec, envelope=envelope, stored_at=entry["stored_at"]
+        )
+
+    def get(self, key: str) -> Optional[StoreEntry]:
+        """Fetch and digest-verify an entry.
+
+        Returns ``None`` when the key is absent; raises
+        :class:`StoreCorruption` when the entry exists but fails
+        verification (callers treat that as a forced cache miss, evict
+        the entry and recompute).
+        """
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        try:
+            data = json.loads(text)
+            spec = data["spec"]
+            envelope = data["envelope"]
+            checksum = data["checksum"]
+            stored_at = data.get("stored_at", 0.0)
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise StoreCorruption(
+                f"store entry {key} is unreadable ({exc!r})"
+            ) from exc
+        if _entry_checksum(spec, envelope) != checksum:
+            raise StoreCorruption(
+                f"store entry {key} failed its checksum (bytes on disk no "
+                "longer match the stored result)"
+            )
+        try:
+            verify_envelope(envelope)
+        except ServiceError as exc:
+            raise StoreCorruption(
+                f"store entry {key} failed digest verification: {exc}"
+            ) from exc
+        return StoreEntry(key=key, spec=spec, envelope=envelope, stored_at=stored_at)
+
+    def evict(self, key: str) -> bool:
+        """Drop an entry (corrupt or superseded); True when it existed."""
+        try:
+            self._path(key).unlink()
+            return True
+        except FileNotFoundError:
+            return False

@@ -69,6 +69,7 @@ class TraceRecorder:
         #: Set when this recorder was rebuilt from merged worker state
         #: (the per-node hashers are gone, so recording is closed).
         self._sealed_digest: Optional[str] = None
+        self._sealed_partial: Optional[int] = None
         if collection == "trace":
             self._columns = EventColumns()
         else:
@@ -111,6 +112,7 @@ class TraceRecorder:
 
         recorder = cls(collection="digest")
         recorder._sealed_digest = hex_of_partial(partial)
+        recorder._sealed_partial = partial
         recorder._count = events
         recorder._retained = list(retained)
         recorder._metrics_stream = metrics
@@ -172,6 +174,22 @@ class TraceRecorder:
                 "full trace"
             )
         return columns
+
+    def digest_partial(self) -> Optional[int]:
+        """The composable mod-2\\ :sup:`256` digest partial, when known.
+
+        Digest-only recorders carry their node-composed partial sum — the
+        32-byte state partition workers and the experiment service ship
+        instead of a trace (``hex_of_partial(digest_partial())`` equals
+        :meth:`digest`).  Full-trace recorders return ``None``: their
+        digest is recomputed from the event log on demand and no partial
+        is maintained.
+        """
+        if self._sealed_partial is not None:
+            return self._sealed_partial
+        if self._digest_stream is not None:
+            return self._digest_stream.partial()
+        return None
 
     def streamed_metrics(self) -> "RunMetrics":
         """The metrics folded so far (digest-only recorders)."""

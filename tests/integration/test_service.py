@@ -1,0 +1,259 @@
+"""Integration tests: the experiment service against a live HTTP server.
+
+Every test here talks to a real :class:`ServiceHTTPServer` on an
+ephemeral port through the stdlib :class:`ServiceClient` — nothing is
+mocked.  The acceptance contract of the service PR:
+
+* a digest computed by a worker on the far side of the wire equals the
+  digest of the same spec run locally in this process (fresh run, cache
+  hit and digest-collection mode);
+* an identical resubmission is answered from the result store without a
+  second execution, and ``force=True`` bypasses that;
+* a corrupted store entry is detected, evicted and recomputed;
+* concurrent duplicate submissions collapse to one execution;
+* a server with no local workers is drained by a remote worker speaking
+  plain HTTP.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.api import (
+    ExperimentSpec,
+    FailureSpec,
+    RuntimeSpec,
+    TopologySpec,
+    locality_sweep_spec,
+    quickstart_spec,
+    run_spec,
+)
+from repro.service import (
+    ServiceClient,
+    ServiceError,
+    WorkerLoop,
+    hydrate_digest_result,
+    serve,
+)
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    """A serving ``ServiceHTTPServer`` with two local workers."""
+    server = serve(tmp_path / "service", port=0, workers=2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.service.stop_workers()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+@pytest.fixture
+def workerless_server(tmp_path):
+    """A serving server with no local workers (jobs wait for remote ones)."""
+    server = serve(tmp_path / "service", port=0, workers=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+def small_spec(seed: int = 0) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="service-int",
+        topology=TopologySpec("grid", {"width": 5, "height": 5}),
+        failure=FailureSpec("region", {"members": [[1, 1], [1, 2]], "at": 1.0}),
+        seed=seed,
+    )
+
+
+def executions(client: ServiceClient) -> int:
+    return client.health()["counts"]["executions"]
+
+
+class TestDigestOverTheWire:
+    def test_fresh_run_matches_local_digest(self, live_server):
+        client = ServiceClient(live_server.url)
+        spec = small_spec()
+        local_digest = run_spec(spec).digest()
+
+        submitted = client.submit(spec.to_dict())
+        assert submitted["created"]
+        job = client.wait(submitted["job"]["id"], timeout=120.0)
+        assert job["state"] == "done"
+        assert not job["cached"]
+        assert job["digest"] == local_digest
+
+        fetched = client.result(job["id"])
+        assert fetched["envelope"]["digest"] == local_digest
+        assert fetched["spec"] == spec.to_dict()
+        assert executions(client) == 1
+
+    def test_identical_resubmission_is_a_cache_hit(self, live_server):
+        client = ServiceClient(live_server.url)
+        spec = small_spec()
+        first = client.wait(client.submit(spec.to_dict())["job"]["id"], timeout=120.0)
+        again = client.submit(spec.to_dict())["job"]
+        assert again["state"] == "done"
+        assert again["cached"]
+        assert again["digest"] == first["digest"]
+        assert again["id"] != first["id"]
+        assert executions(client) == 1
+
+    def test_force_bypasses_the_cache_and_reproduces_the_digest(self, live_server):
+        client = ServiceClient(live_server.url)
+        spec = small_spec()
+        first = client.wait(client.submit(spec.to_dict())["job"]["id"], timeout=120.0)
+        forced = client.wait(
+            client.submit(spec.to_dict(), force=True)["job"]["id"], timeout=120.0
+        )
+        assert not forced["cached"]
+        assert forced["digest"] == first["digest"]
+        assert executions(client) == 2
+
+    def test_sweep_digest_and_progress_over_the_wire(self, live_server):
+        client = ServiceClient(live_server.url)
+        sweep = locality_sweep_spec("l2", side=8, region_sides=(1, 2, 3))
+        local_digest = run_spec(sweep).digest()
+
+        submitted = client.submit(sweep.to_dict())
+        job_id = submitted["job"]["id"]
+        snapshots = list(client.events(job_id, timeout=120.0))
+        final = snapshots[-1]
+        assert final["state"] == "done"
+        assert final["digest"] == local_digest
+        assert final["progress"] == {"done": 3, "total": 3}
+        done_counts = [snap["progress"]["done"] for snap in snapshots]
+        assert done_counts == sorted(done_counts)
+
+        envelope = client.result(job_id)["envelope"]
+        assert envelope["kind"] == "sweep"
+        assert envelope["digest"] == local_digest
+        assert len(envelope["result"]["runs"]) == 3
+
+    def test_digest_collection_run_hydrates_and_verifies(self, live_server):
+        client = ServiceClient(live_server.url)
+        spec = ExperimentSpec(
+            name="service-digest-mode",
+            topology=TopologySpec("grid", {"width": 5, "height": 5}),
+            failure=FailureSpec("region", {"members": [[1, 1], [1, 2]], "at": 1.0}),
+            runtime=RuntimeSpec(collection="digest"),
+            check=False,
+        )
+        local = run_spec(spec)
+        job = client.wait(client.submit(spec.to_dict())["job"]["id"], timeout=120.0)
+        assert job["digest"] == local.digest()
+
+        envelope = client.result(job["id"])["envelope"]
+        assert envelope["collection"] == "digest"
+        recorder = hydrate_digest_result(envelope)
+        assert recorder.digest() == local.digest()
+        assert len(recorder) == len(local.trace)
+
+        # Tampering with the shipped partial must break hydration.
+        tampered = json.loads(json.dumps(envelope))
+        tampered["digest_state"]["partial"] = "0" * 64
+        with pytest.raises(ServiceError):
+            hydrate_digest_result(tampered)
+
+
+class TestSubmissionContract:
+    def test_concurrent_duplicate_submissions_execute_once(self, live_server):
+        client = ServiceClient(live_server.url)
+        document = small_spec(seed=3).to_dict()
+        responses = []
+        barrier = threading.Barrier(6)
+
+        def submitter():
+            barrier.wait()
+            responses.append(ServiceClient(live_server.url).submit(document))
+
+        threads = [threading.Thread(target=submitter) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(responses) == 6
+        digests = set()
+        for response in responses:
+            job = client.wait(response["job"]["id"], timeout=120.0)
+            assert job["state"] == "done"
+            digests.add(job["digest"])
+        assert len(digests) == 1
+        assert executions(client) == 1
+
+    def test_corrupt_store_entry_is_detected_and_recomputed(self, live_server):
+        client = ServiceClient(live_server.url)
+        spec = small_spec(seed=5)
+        first = client.wait(client.submit(spec.to_dict())["job"]["id"], timeout=120.0)
+
+        store_root = live_server.service.store.root
+        (entry_path,) = list(store_root.glob(f"{first['key']}.json"))
+        data = json.loads(entry_path.read_text())
+        data["envelope"]["result"]["seed"] = 424242
+        entry_path.write_text(json.dumps(data))
+
+        resubmitted = client.submit(spec.to_dict())["job"]
+        assert not resubmitted["cached"]
+        recomputed = client.wait(resubmitted["id"], timeout=120.0)
+        assert recomputed["state"] == "done"
+        assert recomputed["digest"] == first["digest"]
+        health = client.health()
+        assert health["corruptions"] == 1
+        assert health["counts"]["executions"] == 2
+        # The recomputed entry is intact again.
+        assert client.result(recomputed["id"])["envelope"]["digest"] == first["digest"]
+
+    def test_result_is_409_while_no_worker_has_run_it(self, workerless_server):
+        client = ServiceClient(workerless_server.url)
+        job = client.submit(small_spec().to_dict())["job"]
+        assert job["state"] == "queued"
+        with pytest.raises(ServiceError) as excinfo:
+            client.result(job["id"])
+        assert excinfo.value.status == 409
+        assert excinfo.value.payload["job"]["id"] == job["id"]
+
+    def test_invalid_documents_are_rejected_with_400(self, live_server):
+        client = ServiceClient(live_server.url)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"spec": "experiment"})  # no topology
+        assert excinfo.value.status == 400
+        assert client.health()["counts"]["queued"] == 0
+
+
+class TestRemoteWorker:
+    def test_http_worker_drains_a_workerless_server(self, workerless_server):
+        client = ServiceClient(workerless_server.url)
+        spec = small_spec(seed=9)
+        local_digest = run_spec(spec).digest()
+        job = client.submit(spec.to_dict())["job"]
+        assert job["state"] == "queued"
+
+        # The remote worker is just a WorkerLoop whose broker is the HTTP
+        # client — the same loop the `repro work` command runs.
+        loop = WorkerLoop(
+            ServiceClient(workerless_server.url),
+            name="remote-test",
+            poll_interval=0.05,
+            drain=True,
+        )
+        loop.run()
+        assert loop.completed == 1
+
+        finished = client.job(job["id"])
+        assert finished["state"] == "done"
+        assert finished["worker"] == "remote-test"
+        assert finished["digest"] == local_digest
+        assert client.result(job["id"])["envelope"]["digest"] == local_digest

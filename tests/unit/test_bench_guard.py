@@ -1,0 +1,66 @@
+"""The partitioned-run benchmark must not clobber its multi-core proof.
+
+``BENCH_partition.json`` is only meaningful when it was measured with at
+least as many CPUs as partitions; these tests pin the overwrite guard in
+``benchmarks/bench_partitioned_run.py`` that keeps a single-CPU re-run
+from silently replacing a multi-core measurement.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_PATH = (
+    Path(__file__).resolve().parent.parent.parent
+    / "benchmarks"
+    / "bench_partitioned_run.py"
+)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location(
+        "bench_partitioned_run", BENCH_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    try:
+        yield module
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def report(cpus, partitions):
+    return {"config": {"cpus": cpus, "partitions": partitions}}
+
+
+class TestShouldOverwrite:
+    def test_no_existing_report_always_writes(self, bench):
+        write, _ = bench.should_overwrite(None, report(1, 4))
+        assert write
+
+    def test_single_core_may_replace_single_core(self, bench):
+        write, _ = bench.should_overwrite(report(1, 4), report(1, 4))
+        assert write
+
+    def test_multi_core_may_replace_anything(self, bench):
+        assert bench.should_overwrite(report(1, 4), report(4, 4))[0]
+        assert bench.should_overwrite(report(8, 4), report(4, 4))[0]
+
+    def test_single_core_must_not_replace_multi_core(self, bench):
+        write, reason = bench.should_overwrite(report(4, 4), report(1, 4))
+        assert not write
+        assert "multi-core" in reason
+
+    def test_unreadable_existing_config_is_not_a_proof(self, bench):
+        assert bench.should_overwrite({}, report(1, 4))[0]
+        assert bench.should_overwrite({"config": {"cpus": None}}, report(1, 4))[0]
+
+    def test_equal_cpus_and_partitions_counts_as_proof(self, bench):
+        assert bench._is_multicore_proof(report(2, 2))
+        assert not bench._is_multicore_proof(report(1, 2))
