@@ -1,0 +1,184 @@
+"""Virtual-time benchmark: the real runtime with zero real sleeps.
+
+Times one timeout-heavy churn scenario on all three runtime substrates —
+the wall-clock asyncio runtime (which actually sleeps through the
+schedule's gaps and quiescence polls), the virtual-time loop
+(:mod:`repro.vtime`, same runtime code, simulator clock) and the
+discrete-event simulator — and writes the measurements to
+``BENCH_vtime.json``.
+
+The scenario is deliberately sleep-dominated: a steady churn schedule
+spread over ``--duration`` virtual time units at a ``--time-scale`` that
+makes the wall-clock runtime spend seconds asleep.  The virtual loop
+executes the identical callbacks with the clock jumping instant to
+instant, so its wall time is the cost of the protocol work alone —
+the acceptance bar is **>= 10x** faster than wall-clock, asserted
+loudly below.  The virtual run is also executed twice and must be
+digest-identical (the determinism contract; also asserted).
+
+Reading the numbers: ``speedup_vs_wallclock`` is
+``wall(asyncio) / wall(asyncio-virtual)``; ``slowdown_vs_sim`` compares
+the virtual loop against the simulator on the same scenario — that gap
+is the price of running real coroutines instead of scheduled callbacks.
+
+Run directly::
+
+    python benchmarks/bench_vtime.py [--smoke] [--nodes N] [--duration D]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from time import perf_counter
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro  # noqa: E402
+from repro.experiments.scenarios import churn_steady_scenario  # noqa: E402
+
+
+MIN_SPEEDUP = 10.0
+
+
+def run_benchmark(
+    nodes: int, duration: float, time_scale: float, seed: int, timeout: float
+) -> dict:
+    from repro.churn import run_churn, run_churn_asyncio
+
+    built = churn_steady_scenario(nodes=nodes, seed=seed, duration=duration)
+    runs = []
+
+    def timed(label: str, **kwargs) -> tuple[dict, object]:
+        started = perf_counter()
+        if label == "sim":
+            result = run_churn(
+                built.graph, built.schedule, built.membership, seed=seed
+            )
+        else:
+            result = run_churn_asyncio(
+                built.graph,
+                built.schedule,
+                built.membership,
+                seed=seed,
+                time_scale=time_scale,
+                timeout=timeout,
+                **kwargs,
+            )
+        digest = result.digest()
+        wall = perf_counter() - started
+        record = {
+            "runtime": result.runtime,
+            "wall_time_s": round(wall, 3),
+            "virtual_time_units": round(duration, 3),
+            "digest": digest,
+            "events": len(result.trace),
+            "decisions": len(result.decisions),
+            "quiescent": result.quiescent,
+        }
+        runs.append(record)
+        return record, result
+
+    wallclock, _ = timed("asyncio", virtual=False)
+    virtual_first, _ = timed("asyncio-virtual", virtual=True)
+    virtual_second, _ = timed("asyncio-virtual", virtual=True)
+    sim, _ = timed("sim")
+
+    if virtual_first["digest"] != virtual_second["digest"]:
+        raise AssertionError(
+            "virtual-time runs of the same scenario produced different "
+            f"digests ({virtual_first['digest'][:12]} vs "
+            f"{virtual_second['digest'][:12]}) — the determinism contract "
+            "is broken"
+        )
+
+    def ratio(numerator: float, denominator: float) -> float:
+        return round(numerator / denominator, 3) if denominator > 0 else float("inf")
+
+    virtual_wall = min(virtual_first["wall_time_s"], virtual_second["wall_time_s"])
+    speedup = ratio(wallclock["wall_time_s"], virtual_wall)
+    return {
+        "benchmark": "bench_vtime",
+        "version": repro.__version__,
+        "config": {
+            "nodes": len(built.graph),
+            "duration": duration,
+            "time_scale": time_scale,
+            "seed": seed,
+            "timeout": timeout,
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "runs": runs,
+        "speedup_vs_wallclock": speedup,
+        "slowdown_vs_sim": ratio(virtual_wall, sim["wall_time_s"]),
+        "virtual_digest_stable": True,
+        "min_speedup_required": MIN_SPEEDUP,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny CI configuration (16-node torus)"
+    )
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument("--duration", type=float, default=None)
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.05,
+        dest="time_scale",
+        help="wall seconds per virtual time unit for the wall-clock run",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_vtime.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke or os.environ.get("REPRO_BENCH_SMOKE"):
+        nodes = args.nodes or 16
+        duration = args.duration or 60.0
+    else:
+        nodes = args.nodes or 64
+        duration = args.duration or 120.0
+    result = run_benchmark(
+        nodes=nodes,
+        duration=duration,
+        time_scale=args.time_scale,
+        seed=args.seed,
+        timeout=args.timeout,
+    )
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    for run in result["runs"]:
+        print(
+            f"{run['runtime']}: wall={run['wall_time_s']}s "
+            f"events={run['events']} decisions={run['decisions']} "
+            f"quiescent={run['quiescent']} digest={run['digest'][:12]}"
+        )
+    print(
+        f"speedup virtual vs wall-clock: {result['speedup_vs_wallclock']}x "
+        f"(required >= {MIN_SPEEDUP}x)  "
+        f"virtual vs sim: {result['slowdown_vs_sim']}x slower  "
+        f"-> {args.output}"
+    )
+    if result["speedup_vs_wallclock"] < MIN_SPEEDUP:
+        print(
+            "FAIL: the virtual-time loop must beat the wall-clock runtime "
+            f"by >= {MIN_SPEEDUP}x on a sleep-dominated scenario",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""CI smoke test for the virtual-time asyncio runtime.
+
+Proves the tentpole determinism claim end to end through the real CLI:
+a churn spec executed with ``--runtime asyncio-virtual`` in **two fresh
+interpreter processes** with **different PYTHONHASHSEED values** must
+produce byte-identical canonical digests.  A third in-process run
+cross-checks the CLI digests against the API, and a ``--runtime all``
+run asserts the three substrates decide identical views.
+
+Exits non-zero (with a diagnostic) on any violation.  Run directly::
+
+    python scripts/vtime_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _ROOT / "src"
+sys.path.insert(0, str(_SRC))
+
+
+CHURN_ARGS = [
+    "churn",
+    "--scenario",
+    "race",
+    "--nodes",
+    "16",
+    "--runtime",
+    "asyncio-virtual",
+    "--seed",
+    "7",
+    "--json",
+]
+
+
+def cli_digest(hashseed: str) -> str:
+    """Run the churn spec through a fresh ``repro`` CLI process."""
+    env = dict(os.environ, PYTHONHASHSEED=hashseed)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(_SRC), env.get("PYTHONPATH", "")])
+    )
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", *CHURN_ARGS],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    if completed.returncode != 0:
+        raise SystemExit(
+            f"CLI run failed (PYTHONHASHSEED={hashseed}):\n{completed.stderr}"
+        )
+    payload = json.loads(completed.stdout)
+    run = payload["runs"][0]
+    if run["runtime"] != "asyncio-virtual" or not run["quiescent"]:
+        raise SystemExit(f"unexpected run shape: {run['runtime']}, {run['quiescent']}")
+    return run["digest"]
+
+
+def main() -> int:
+    digests = {seed: cli_digest(seed) for seed in ("1", "31337")}
+    values = set(digests.values())
+    if len(values) != 1:
+        print(
+            "FAIL: digests differ across PYTHONHASHSEED values: "
+            + ", ".join(f"{seed}={digest[:16]}" for seed, digest in digests.items()),
+            file=sys.stderr,
+        )
+        return 1
+    cli = values.pop()
+    print(f"cross-process digest (2 hash seeds): {cli[:16]} OK")
+
+    # In-process cross-check: the API run of the same spec matches the CLI.
+    from repro.api import ExperimentSession
+    from repro.api.presets import churn_scenario_spec
+
+    spec = churn_scenario_spec(
+        "race", nodes=16, seed=7, runtime="asyncio-virtual"
+    )
+    api_digest = ExperimentSession().run(spec).digest()
+    if api_digest != cli:
+        print(
+            f"FAIL: API digest {api_digest[:16]} != CLI digest {cli[:16]}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"in-process API digest matches: {api_digest[:16]} OK")
+
+    # All three substrates decide identical views on the same scenario.
+    from repro.cli import main as cli_main
+
+    lines: list[str] = []
+    code = cli_main(
+        [
+            "churn",
+            "--scenario",
+            "steady",
+            "--nodes",
+            "16",
+            "--duration",
+            "30",
+            "--runtime",
+            "all",
+        ],
+        write=lines.append,
+    )
+    output = "\n".join(lines)
+    if code != 0 or "runtimes decided identical views: True" not in output:
+        print(f"FAIL: --runtime all disagreement:\n{output}", file=sys.stderr)
+        return 1
+    print("sim / asyncio / asyncio-virtual decided identical views OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -126,7 +126,8 @@ class ExperimentSession:
                     "collection='digest' keeps no event log, so churn epoch "
                     "reconstruction cannot run; use collection='trace'"
                 )
-        if runtime.engine == "asyncio":
+        if runtime.engine in ("asyncio", "asyncio-virtual"):
+            virtual = runtime.engine == "asyncio-virtual"
             unsupported = []
             if not spec.arbitration:
                 unsupported.append("arbitration=False")
@@ -136,17 +137,17 @@ class ExperimentSession:
                 unsupported.append("batched=False")
             if runtime.latency is not None:
                 unsupported.append("latency")
-            if runtime.failure_detector is not None:
-                unsupported.append("failure_detector")
             if runtime.until is not None:
                 unsupported.append("until")
-            if runtime.max_events != RuntimeSpec().max_events:
+            if not virtual and runtime.max_events != RuntimeSpec().max_events:
+                # The virtual loop honours max_events as its callback
+                # budget; the wall-clock loop has no event counter.
                 unsupported.append("max_events")
             if unsupported:
                 raise SpecError(
-                    "the asyncio runtime does not support these spec knobs: "
+                    "the asyncio runtimes do not support these spec knobs: "
                     + ", ".join(unsupported)
-                    + " (it is wall-clock driven; use engine='sim')"
+                    + " (use engine='sim')"
                 )
             from ..churn.runner import run_churn_asyncio
 
@@ -159,6 +160,9 @@ class ExperimentSession:
                 timeout=runtime.timeout,
                 seed=spec.seed,
                 check=spec.check,
+                virtual=virtual,
+                failure_detector=runtime.resolve_failure_detector(),
+                max_events=runtime.max_events if virtual else None,
             )
         elif runtime.partitions > 1:
             from ..sim.partition import run_partitioned

@@ -491,14 +491,21 @@ def _resolve_coupled(kind: str, params: dict, graph, seed: int):
 class RuntimeSpec(_SpecBase):
     """Which runtime executes the experiment, and its substrate knobs.
 
-    ``engine`` is ``"sim"`` (deterministic discrete-event simulator) or
-    ``"asyncio"`` (concurrent runtime).  ``batched`` selects the
-    simulator's same-timestamp dispatch fast path (the unbatched
-    reference loop exists for the determinism regression suite).
-    ``latency`` and ``failure_detector`` are small kind+params mappings
-    (``constant``/``uniform``/``exponential`` latencies;
+    ``engine`` is ``"sim"`` (deterministic discrete-event simulator),
+    ``"asyncio"`` (the wall-clock concurrent runtime) or
+    ``"asyncio-virtual"`` (the same asyncio protocol code on the
+    deterministic virtual-time loop, :mod:`repro.vtime` — zero real
+    sleeps, digest-reproducible across processes and hash seeds).
+    ``"asyncio-virtual"`` is a value added to an always-serialized field,
+    so every pre-existing document and digest is byte-identical.
+    ``batched`` selects the simulator's same-timestamp dispatch fast path
+    (the unbatched reference loop exists for the determinism regression
+    suite).  ``latency`` and ``failure_detector`` are small kind+params
+    mappings (``constant``/``uniform``/``exponential`` latencies;
     ``perfect``/``jittered``/``scripted`` detectors); ``None`` means the
-    runner defaults.
+    runner defaults.  Latency models are simulator-only; detector
+    policies work on all three engines (both asyncio engines scale the
+    policy's simulated-time delays by ``time_scale``).
 
     ``partitions`` selects the partitioned simulator backend
     (:mod:`repro.sim.partition`): the graph is split into that many
@@ -532,7 +539,7 @@ class RuntimeSpec(_SpecBase):
     time_scale: float = 0.01
     timeout: float = 60.0
 
-    ENGINES = ("sim", "asyncio")
+    ENGINES = ("sim", "asyncio", "asyncio-virtual")
     COLLECTIONS = ("trace", "digest")
 
     def __post_init__(self) -> None:
@@ -549,8 +556,7 @@ class RuntimeSpec(_SpecBase):
         if self.partitions > 1 and self.engine != "sim":
             raise SpecError(
                 "partitioned execution needs engine='sim' (the asyncio "
-                "runtime is wall-clock driven and cannot be partitioned "
-                "deterministically)"
+                "runtimes drive one event loop and cannot be partitioned)"
             )
         if self.collection not in self.COLLECTIONS:
             raise SpecError(
@@ -560,7 +566,8 @@ class RuntimeSpec(_SpecBase):
         if self.collection == "digest" and self.engine != "sim":
             raise SpecError(
                 "collection='digest' needs engine='sim' (the asyncio "
-                "runtime merges per-node logs into a full trace)"
+                "runtimes reconstruct membership epochs from the full "
+                "trace)"
             )
         if self.latency is not None:
             object.__setattr__(self, "latency", freeze(self.latency))
@@ -806,9 +813,14 @@ class SweepSpec(_SpecBase):
       Tasks cross process boundaries as *specs* (picklable-by-spec),
       not as registered family names.
     * **family mode** — ``family`` names a registered scenario family
-      (:mod:`repro.scale.families`) and the sweep is one task per seed;
-      this covers the seed-randomised EXP-C1 property sweeps whose whole
-      scenario derives from the seed.
+      (:mod:`repro.scale.families`) and the sweep is one task per
+      (grid point × seed).  Here the dotted grid paths index into
+      ``family_params`` (``{"nodes": [36, 64]}``, or ``"scenario_params.
+      join_rate"`` for nested builders), with the same ``|`` coupling as
+      experiment mode.  This is the spec form of the seed-randomised
+      EXP-C1 generators: the scenario still derives from the seed, but
+      the generator's knobs grid-expand from the document instead of
+      requiring a hand-written driver script.
     """
 
     experiment: Optional[ExperimentSpec] = None
@@ -826,8 +838,11 @@ class SweepSpec(_SpecBase):
         object.__setattr__(self, "seeds", tuple(int(seed) for seed in self.seeds))
         object.__setattr__(self, "family_params", freeze(self.family_params))
         object.__setattr__(self, "grid", freeze(self.grid))
-        if self.family and self.grid:
-            raise SpecError("grid expansion applies to experiment-mode sweeps only")
+        if self.family and "seed" in self.grid:
+            raise SpecError(
+                "family-mode grids expand family_params; sweep seeds with "
+                "the 'seeds' list, not a 'seed' grid axis"
+            )
         if "seed" in self.grid and self.seeds:
             raise SpecError(
                 "ambiguous seed sweep: use either the 'seeds' list or a "
@@ -916,12 +931,43 @@ class SweepSpec(_SpecBase):
                 expanded.append(spec)
         return expanded
 
+    def expand_family_params(self) -> list[tuple[dict[str, Any], str]]:
+        """Family-mode grid points as ``(params, label)`` pairs.
+
+        Grid axes are dotted paths inside ``family_params``, expanded in
+        sorted-path order with the same ``|`` coupling as experiment
+        mode.  The label strings the axis assignments by their leaf
+        field (``"nodes=64,rate=0.2"``) so sweep rows from different
+        grid points stay tellable-apart; with no grid the single label
+        is empty (the task then displays as the bare family name).
+        """
+        if self.experiment is not None:
+            raise SpecError(
+                "experiment-mode sweeps expand to specs; see expand()"
+            )
+        points: list[tuple[dict[str, Any], list[str]]] = [
+            (thaw(self.family_params), [])
+        ]
+        for path in sorted(self.grid):
+            values = self.grid[path]
+            coupled = path.split("|")
+            leaf = coupled[0].split(".")[-1]
+            next_points = []
+            for params, parts in points:
+                for value in values:
+                    copy = json.loads(json.dumps(params))
+                    for sub_path in coupled:
+                        _override(copy, sub_path, value)
+                    next_points.append((copy, parts + [f"{leaf}={thaw(value)}"]))
+            points = next_points
+        return [(params, ",".join(parts)) for params, parts in points]
+
     def __len__(self) -> int:
-        if self.experiment is None:
-            return len(self.seeds)
         size = 1
         for values in self.grid.values():
             size *= len(values)
+        if self.experiment is None:
+            return size * len(self.seeds)
         return size * max(len(self.seeds), 1)
 
     def tasks(self) -> list:
@@ -929,7 +975,8 @@ class SweepSpec(_SpecBase):
 
         Experiment mode produces ``"spec"``-family tasks whose params
         *are* the serialized spec (picklable-by-spec); family mode
-        produces classic one-task-per-seed family tasks.
+        produces one family task per (grid point × seed), grid
+        outermost, seeds innermost.
         """
         from ..scale import SweepTask
 
@@ -944,7 +991,13 @@ class SweepSpec(_SpecBase):
                 for spec in self.expand()
             ]
         return [
-            SweepTask(self.family, params=dict(self.family_params), seed=seed)
+            SweepTask(
+                self.family,
+                params=json.loads(json.dumps(params)),
+                seed=seed,
+                label=f"{self.family}[{label}]" if label else "",
+            )
+            for params, label in self.expand_family_params()
             for seed in self.seeds
         ]
 

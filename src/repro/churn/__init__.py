@@ -44,7 +44,7 @@ from .properties import (
     build_ground_truth,
     check_churn_all,
 )
-from .runner import ChurnRunResult, run_churn, run_churn_asyncio
+from .runner import ChurnRunResult, run_churn, run_churn_asyncio, run_churn_virtual
 
 __all__ = [
     "AttachmentError",
@@ -72,4 +72,5 @@ __all__ = [
     "ChurnRunResult",
     "run_churn",
     "run_churn_asyncio",
+    "run_churn_virtual",
 ]

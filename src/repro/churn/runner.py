@@ -3,9 +3,11 @@
 Mirrors :mod:`repro.experiments.runner` for dynamic-membership workloads:
 :func:`run_churn` executes a ``(CrashSchedule, MembershipSchedule)`` pair
 on the deterministic simulator, :func:`run_churn_asyncio` on the asyncio
-runtime, and both package the outcome — trace, metrics, decisions,
-reconstructed membership epochs, and the epoch-quotiented CD1–CD7 report —
-into a :class:`ChurnRunResult`.
+runtime — wall-clock by default, or deterministically on the
+virtual-time loop with ``virtual=True`` (:mod:`repro.vtime`) — and all
+of them package the outcome — trace, metrics, decisions, reconstructed
+membership epochs, and the epoch-quotiented CD1–CD7 report — into a
+:class:`ChurnRunResult`.
 """
 
 from __future__ import annotations
@@ -55,7 +57,8 @@ class ChurnRunResult(DecisionResultMixin):
     decisions: list[Decision]
     #: The membership epochs of the run, reconstructed from the trace.
     epochs: list[MembershipEpoch]
-    #: Which runtime produced the run ("sim" or "asyncio").
+    #: Which runtime produced the run ("sim", "asyncio" or
+    #: "asyncio-virtual").
     runtime: str = "sim"
     #: False when the asyncio runtime hit its timeout before quiescence.
     quiescent: bool = True
@@ -208,19 +211,47 @@ def run_churn_asyncio(
     timeout: float = 60.0,
     seed: int = 0,
     check: bool = False,
+    virtual: bool = False,
+    failure_detector: Optional[FailureDetectorPolicy] = None,
+    max_events: Optional[int] = None,
 ) -> ChurnRunResult:
-    """Run the same churn scenario on the asyncio runtime."""
+    """Run the same churn scenario on the asyncio runtime.
+
+    ``virtual=True`` drives the identical runtime code on the
+    deterministic virtual-time loop (:mod:`repro.vtime`): zero real
+    sleeps, digest-reproducible, and ``max_events`` bounds the loop's
+    callback budget.  ``failure_detector`` (a simulator policy object)
+    works on both clocks.
+    """
     membership.validate(graph, schedule)
-    async_result = run_cliff_edge_asyncio(
-        graph,
-        schedule,
-        node_factory=node_factory if node_factory is not None else CliffEdgeNode,
-        detection_delay=detection_delay,
-        time_scale=time_scale,
-        timeout=timeout,
-        membership=membership,
-        seed=seed,
-    )
+    factory = node_factory if node_factory is not None else CliffEdgeNode
+    if virtual:
+        from ..vtime import run_cliff_edge_virtual
+
+        async_result = run_cliff_edge_virtual(
+            graph,
+            schedule,
+            node_factory=factory,
+            detection_delay=detection_delay,
+            time_scale=time_scale,
+            timeout=timeout,
+            membership=membership,
+            seed=seed,
+            failure_detector=failure_detector,
+            max_events=max_events,
+        )
+    else:
+        async_result = run_cliff_edge_asyncio(
+            graph,
+            schedule,
+            node_factory=factory,
+            detection_delay=detection_delay,
+            time_scale=time_scale,
+            timeout=timeout,
+            membership=membership,
+            seed=seed,
+            failure_detector=failure_detector,
+        )
     result = ChurnRunResult(
         base_graph=graph,
         final_graph=async_result.graph,
@@ -230,9 +261,19 @@ def run_churn_asyncio(
         metrics=async_result.metrics,
         decisions=async_result.decisions,
         epochs=build_epochs(graph, async_result.trace),
-        runtime="asyncio",
+        runtime="asyncio-virtual" if virtual else "asyncio",
         quiescent=async_result.quiescent,
     )
     if check:
         result.check_specification(include_liveness=async_result.quiescent)
     return result
+
+
+def run_churn_virtual(
+    graph: KnowledgeGraph,
+    schedule: CrashSchedule,
+    membership: MembershipSchedule,
+    **kwargs: Any,
+) -> ChurnRunResult:
+    """Shorthand for :func:`run_churn_asyncio` with ``virtual=True``."""
+    return run_churn_asyncio(graph, schedule, membership, virtual=True, **kwargs)

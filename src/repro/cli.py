@@ -248,12 +248,12 @@ def _cmd_sweep(args: argparse.Namespace, write: Callable[[str], object]) -> int:
 
 
 def _cmd_churn(args: argparse.Namespace, write: Callable[[str], object]) -> int:
-    if args.emit_spec and args.runtime == "both":
+    if args.emit_spec and args.runtime in ("both", "all"):
         # A single experiment spec describes one engine; emitting only the
         # sim half would silently drop the cross-runtime agreement check.
         write(
-            "--emit-spec needs a single engine; re-run with --runtime sim "
-            "or --runtime asyncio (run both documents to compare)"
+            "--emit-spec needs a single engine; re-run with --runtime sim, "
+            "asyncio or asyncio-virtual (run each document to compare)"
         )
         return 2
     spec = churn_scenario_spec(
@@ -262,22 +262,30 @@ def _cmd_churn(args: argparse.Namespace, write: Callable[[str], object]) -> int:
         churn_rate=args.churn_rate,
         duration=args.duration,
         seed=args.seed,
-        runtime=args.runtime if args.runtime != "both" else "sim",
+        runtime=args.runtime if args.runtime not in ("both", "all") else "sim",
     )
     if args.emit_spec:
         write(spec.to_json())
         return 0
     session = ExperimentSession()
-    runtimes = ["sim", "asyncio"] if args.runtime == "both" else [args.runtime]
+    if args.runtime == "both":
+        runtimes = ["sim", "asyncio"]
+    elif args.runtime == "all":
+        runtimes = ["sim", "asyncio", "asyncio-virtual"]
+    else:
+        runtimes = [args.runtime]
     results = [session.run(spec.with_engine(runtime)) for runtime in runtimes]
     ok = all(r.specification.holds and r.quiescent for r in results)
     agree = None
-    if len(results) == 2:
+    if len(results) >= 2:
         # Distinct decided views must agree across runtimes.  The per-epoch
         # decision counts may legitimately differ on racy scenarios: whether
         # a recovery beats the in-flight agreement is a timing question, and
         # both outcomes satisfy the epoch-quotiented specification.
-        agree = results[0].decided_views == results[1].decided_views
+        agree = all(
+            result.decided_views == results[0].decided_views
+            for result in results[1:]
+        )
         ok = ok and agree
     if args.json:
         payload = {
@@ -329,8 +337,16 @@ def _cmd_run(args: argparse.Namespace, write: Callable[[str], object]) -> int:
                 "runtime.collection on the sweep's base experiment instead"
             )
             return 2
+        if args.runtime is not None:
+            write(
+                "--runtime applies to single experiments; set "
+                "runtime.engine on the sweep's base experiment instead"
+            )
+            return 2
         report = session.run_sweep(spec)
         return _write_sweep_report(report, spec, args.json, write)
+    if args.runtime is not None:
+        spec = spec.with_engine(args.runtime)
     if args.partitions is not None:
         spec = spec.with_partitions(args.partitions)
     if args.collection is not None:
@@ -396,6 +412,7 @@ def _cmd_serve(args: argparse.Namespace, write: Callable[[str], object]) -> int:
         port=args.port,
         workers=args.workers,
         verbose=args.verbose,
+        store_max_bytes=args.store_max_bytes,
     )
     write(
         f"experiment server listening on {server.url} "
@@ -511,8 +528,10 @@ def _cmd_work(args: argparse.Namespace, write: Callable[[str], object]) -> int:
         name=args.name,
         poll_interval=args.poll_interval,
         drain=args.drain,
+        processes=args.processes,
     )
-    write(f"worker {args.name!r} polling {client.base_url}")
+    mode = f" ({args.processes} processes)" if args.processes else ""
+    write(f"worker {args.name!r} polling {client.base_url}{mode}")
     try:
         loop.run()
     except KeyboardInterrupt:  # pragma: no cover - interactive teardown
@@ -648,7 +667,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     churn.add_argument("--duration", type=float, default=100.0)
     churn.add_argument(
-        "--runtime", choices=["sim", "asyncio", "both"], default="sim"
+        "--runtime",
+        choices=["sim", "asyncio", "asyncio-virtual", "both", "all"],
+        default="sim",
+        help="engine: deterministic simulator, wall-clock asyncio, "
+        "virtual-time asyncio, sim+asyncio ('both'), or all three "
+        "('all'); multi-engine runs cross-check decided views",
     )
     # Accept --seed after the subcommand too (it is also a global option);
     # SUPPRESS keeps a pre-subcommand --seed intact when absent here.
@@ -695,6 +719,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(implies no CD1-CD7 checking); the digest is bit-identical "
         "either way",
     )
+    run.add_argument(
+        "--runtime",
+        choices=["sim", "asyncio", "asyncio-virtual"],
+        default=None,
+        help="runtime engine (overrides the document's runtime.engine): "
+        "the deterministic simulator, the wall-clock asyncio runtime, "
+        "or the same asyncio runtime on the deterministic virtual-time "
+        "loop",
+    )
     run.set_defaults(func=_cmd_run)
 
     report = sub.add_parser("report", help="regenerate every experiment table")
@@ -733,6 +766,15 @@ def build_parser() -> argparse.ArgumentParser:
         "see `repro work`)",
     )
     serve.add_argument("--verbose", action="store_true", help="log HTTP requests")
+    serve.add_argument(
+        "--store-max-bytes",
+        type=int,
+        default=None,
+        dest="store_max_bytes",
+        help="cap the result store at this many bytes; the least-recently-"
+        "used entries are evicted (and journaled to evictions.jsonl) "
+        "when a write overflows the budget (default: unbounded)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -821,6 +863,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     work.add_argument(
         "--timeout", type=float, default=60.0, help="per-request HTTP timeout"
+    )
+    work.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        help="run up to N jobs concurrently in a local process pool "
+        "(0 = inline in this process); results are digest-identical "
+        "either way",
     )
     _add_server_flag(work)
     work.set_defaults(func=_cmd_work)

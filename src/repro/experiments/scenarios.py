@@ -307,8 +307,10 @@ class ChurnScenario:
     """A ready-to-run churn scenario: topology + crashes + membership.
 
     The same scenario runs unchanged on the deterministic simulator
-    (``runtime="sim"``) and on the asyncio runtime (``runtime="asyncio"``);
-    the integration tests assert both reach identical decisions.
+    (``runtime="sim"``), on the wall-clock asyncio runtime
+    (``runtime="asyncio"``) and on the deterministic virtual-time loop
+    (``runtime="asyncio-virtual"``); the integration tests assert they
+    reach identical decisions.
     """
 
     name: str
@@ -329,7 +331,7 @@ class ChurnScenario:
             result = run_churn(
                 self.graph, self.schedule, self.membership, seed=seed, check=check
             )
-        elif runtime == "asyncio":
+        elif runtime in ("asyncio", "asyncio-virtual"):
             result = run_churn_asyncio(
                 self.graph,
                 self.schedule,
@@ -337,6 +339,7 @@ class ChurnScenario:
                 seed=seed,
                 check=check,
                 timeout=timeout,
+                virtual=runtime == "asyncio-virtual",
             )
         else:
             raise ValueError(f"unknown runtime {runtime!r}")

@@ -29,6 +29,7 @@ from ..core.properties import Decision, extract_decisions
 from ..failures import CrashSchedule
 from ..graph import KnowledgeGraph, NodeId
 from ..sim.events import EventKind
+from ..sim.failure_detector import FailureDetectorPolicy
 from ..sim.process import MembershipChange, Process, resolve_attachment
 from ..trace import RunMetrics, TraceRecorder, collect_metrics
 
@@ -120,6 +121,13 @@ class AsyncRuntime:
         Multiplier applied to the *simulated* times of a
         :class:`CrashSchedule` to turn them into real seconds.  The default
         compresses a typical scenario into well under a second.
+    failure_detector:
+        Optional :class:`~repro.sim.failure_detector.FailureDetectorPolicy`
+        deciding per-(subscriber, crashed) notification delays in
+        *simulated* time units (scaled by ``time_scale``, like the crash
+        schedule itself).  ``None`` keeps the flat ``detection_delay``.
+        This is the same policy object the simulator takes, so scripted
+        scenarios run identically on both substrates.
     """
 
     def __init__(
@@ -128,9 +136,11 @@ class AsyncRuntime:
         detection_delay: float = 0.01,
         time_scale: float = 0.01,
         seed: int = 0,
+        failure_detector: Optional[FailureDetectorPolicy] = None,
     ) -> None:
         self.graph = graph
         self.detection_delay = detection_delay
+        self.failure_detector = failure_detector
         self.time_scale = time_scale
         self.trace = TraceRecorder()
         self._processes: dict[NodeId, Process] = {}
@@ -147,6 +157,9 @@ class AsyncRuntime:
         # --- dynamic-membership state (mirrors the simulator) -------------
         self._base_graph = graph
         self._rng = random.Random(seed)
+        #: Dedicated stream for detector-policy jitter, so attachment
+        #: resolution and detection delays never perturb each other.
+        self._detector_rng = random.Random(seed)
         self._incarnation: dict[NodeId, int] = {}
         self._departed: set[NodeId] = set()
         self._epoch = 0
@@ -373,7 +386,14 @@ class AsyncRuntime:
             self._inboxes[subscriber].queue.put_nowait(("crash", crashed))
 
         assert self._loop is not None
-        self._loop.call_later(self.detection_delay, deliver)
+        if self.failure_detector is not None:
+            delay = (
+                self.failure_detector.delay(subscriber, crashed, self._detector_rng)
+                * self.time_scale
+            )
+        else:
+            delay = self.detection_delay
+        self._loop.call_later(delay, deliver)
 
     def _set_timer(self, node: NodeId, delay: float, tag: Any) -> None:
         self._pending_callbacks += 1
@@ -551,10 +571,15 @@ async def run_cliff_edge_async(
     timeout: float = 30.0,
     membership: Any = None,
     seed: int = 0,
+    failure_detector: Optional[FailureDetectorPolicy] = None,
 ) -> AsyncRunResult:
     """Convenience wrapper: populate, run, and collect results."""
     runtime = AsyncRuntime(
-        graph, detection_delay=detection_delay, time_scale=time_scale, seed=seed
+        graph,
+        detection_delay=detection_delay,
+        time_scale=time_scale,
+        seed=seed,
+        failure_detector=failure_detector,
     )
     runtime.populate(node_factory)
     return await runtime.run(schedule, timeout=timeout, membership=membership)
@@ -569,6 +594,7 @@ def run_cliff_edge_asyncio(
     timeout: float = 30.0,
     membership: Any = None,
     seed: int = 0,
+    failure_detector: Optional[FailureDetectorPolicy] = None,
 ) -> AsyncRunResult:
     """Synchronous entry point (creates and drives its own event loop)."""
     return asyncio.run(
@@ -581,5 +607,6 @@ def run_cliff_edge_asyncio(
             timeout=timeout,
             membership=membership,
             seed=seed,
+            failure_detector=failure_detector,
         )
     )

@@ -64,10 +64,15 @@ DEFAULT_PORT = 8787
 class ExperimentService:
     """The transport-free service core (ledger + store + worker pool)."""
 
-    def __init__(self, root: Path | str, workers: int = 1) -> None:
+    def __init__(
+        self,
+        root: Path | str,
+        workers: int = 1,
+        store_max_bytes: Optional[int] = None,
+    ) -> None:
         self.root = Path(root)
         self.ledger = JobLedger(self.root / "ledger")
-        self.store = ResultStore(self.root / "store")
+        self.store = ResultStore(self.root / "store", max_bytes=store_max_bytes)
         self.workers = max(int(workers), 0)
         self._broker = LocalBroker(self.ledger, self.store)
         self._loops: list[WorkerLoop] = []
@@ -173,6 +178,9 @@ class ExperimentService:
             "workers": self.workers,
             "counts": self.ledger.counts(),
             "store_entries": len(self.store),
+            "store_bytes": self.store.total_bytes(),
+            "store_max_bytes": self.store.max_bytes,
+            "store_evictions": self.store.evictions,
             "corruptions": self.corruptions,
         }
 
@@ -381,13 +389,15 @@ def serve(
     port: int = DEFAULT_PORT,
     workers: int = 1,
     verbose: bool = False,
+    store_max_bytes: Optional[int] = None,
 ) -> ServiceHTTPServer:
     """Build a ready-to-run server (workers started, not yet serving).
 
     Callers own the serve loop: ``server.serve_forever()`` to block, or
     drive it from a thread in tests.  ``port=0`` binds an ephemeral port
-    (``server.url`` reports the real one).
+    (``server.url`` reports the real one).  ``store_max_bytes`` caps the
+    result store; the LRU collector journals every eviction.
     """
-    service = ExperimentService(root, workers=workers)
+    service = ExperimentService(root, workers=workers, store_max_bytes=store_max_bytes)
     service.start_workers()
     return ServiceHTTPServer(service, host=host, port=port, verbose=verbose)

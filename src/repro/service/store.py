@@ -64,12 +64,28 @@ class StoreCorruption(ServiceError):
 
 
 class ResultStore:
-    """Durable ``key -> (spec, result envelope)`` mapping on disk."""
+    """Durable ``key -> (spec, result envelope)`` mapping on disk.
 
-    def __init__(self, root: Path | str) -> None:
+    ``max_bytes`` (``None`` = unbounded) caps the total size of stored
+    entries: every write runs a least-recently-*used* collector — reads
+    refresh an entry's recency, so a hot cache line survives arbitrarily
+    many writes — that drops the coldest entries until the store fits.
+    Evictions are appended to an ``evictions.jsonl`` journal alongside
+    the entries, so "why did my cached result recompute?" is always
+    answerable from disk.  The entry just written is never evicted, even
+    when it alone exceeds the budget.
+    """
+
+    def __init__(self, root: Path | str, max_bytes: Optional[int] = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        if max_bytes is not None and max_bytes <= 0:
+            raise ServiceError("store max_bytes must be positive (None = unbounded)")
+        self.max_bytes = max_bytes
         self._lock = threading.Lock()
+        #: Entries dropped by the byte-budget collector since startup
+        #: (the on-disk journal keeps the all-time record).
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
@@ -86,6 +102,16 @@ class ResultStore:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
+
+    def total_bytes(self) -> int:
+        """Bytes of stored entries (the eviction journal is not counted)."""
+        total = 0
+        for path in self.root.glob("*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:  # pragma: no cover - concurrent eviction
+                continue
+        return total
 
     # ------------------------------------------------------------------
     def put(
@@ -120,6 +146,7 @@ class ResultStore:
                 except OSError:
                     pass
                 raise
+            self._enforce_budget(protect=key)
         return StoreEntry(
             key=key, spec=spec, envelope=envelope, stored_at=entry["stored_at"]
         )
@@ -158,6 +185,12 @@ class ResultStore:
             raise StoreCorruption(
                 f"store entry {key} failed digest verification: {exc}"
             ) from exc
+        try:
+            # Refresh recency: the LRU collector orders by mtime, so a
+            # read keeps a hot entry out of the eviction queue.
+            os.utime(path)
+        except OSError:  # pragma: no cover - concurrent eviction
+            pass
         return StoreEntry(key=key, spec=spec, envelope=envelope, stored_at=stored_at)
 
     def evict(self, key: str) -> bool:
@@ -167,3 +200,51 @@ class ResultStore:
             return True
         except FileNotFoundError:
             return False
+
+    # ------------------------------------------------------------------
+    # Byte-budget collection
+    # ------------------------------------------------------------------
+    @property
+    def journal_path(self) -> Path:
+        """The append-only eviction journal (JSONL, one record per drop)."""
+        return self.root / "evictions.jsonl"
+
+    def _enforce_budget(self, protect: str) -> None:
+        """Evict least-recently-used entries until the store fits.
+
+        Runs under the store lock (called from :meth:`put`).  ``protect``
+        names the entry that triggered collection; it is exempt so the
+        store always holds at least the newest result.
+        """
+        if self.max_bytes is None:
+            return
+        entries = []
+        total = 0
+        for path in self.root.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - concurrent eviction
+                continue
+            entries.append((stat.st_mtime_ns, path.name, path, stat.st_size))
+            total += stat.st_size
+        entries.sort()
+        for _mtime, _name, path, size in entries:
+            if total <= self.max_bytes:
+                break
+            if path.stem == protect:
+                continue
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent eviction
+                continue
+            total -= size
+            self.evictions += 1
+            record = {
+                "op": "evict",
+                "key": path.stem,
+                "bytes": size,
+                "reason": "store-byte-budget",
+                "evicted_at": time.time(),
+            }
+            with self.journal_path.open("a") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")

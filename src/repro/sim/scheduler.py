@@ -26,7 +26,11 @@ replaces the insertion-order tie-break with caller-supplied total-order
 keys, so shards of one run (:mod:`repro.sim.partition`) can reproduce the
 sequential interleaving without observing global insertion order, and
 its :meth:`~KeyedEventScheduler.run_window` runs one barrier window
-``[now, end)`` at a time.
+``[now, end)`` at a time.  The virtual-time asyncio loop
+(:mod:`repro.vtime.loop`) is the other keyed-scheduler client: it mints
+the same genealogical keys for asyncio callbacks, which is what makes
+the real runtime's wakeup order — and hence its trace digest —
+deterministic.
 """
 
 from __future__ import annotations

@@ -1,0 +1,26 @@
+"""Virtual-time asyncio: deterministic execution of the real runtime.
+
+The third runtime substrate, between the discrete-event simulator and
+the wall-clock asyncio runtime: the *same* asyncio protocol code the
+wall-clock runtime executes, driven by
+:class:`~repro.vtime.loop.VirtualClockEventLoop`, whose clock is a
+:class:`~repro.sim.scheduler.KeyedEventScheduler`.  Runs complete with
+zero real sleeps and are digest-reproducible across processes and
+``PYTHONHASHSEED`` values, which is what makes asyncio scenarios
+sweepable (:mod:`repro.scale`) and servable (:mod:`repro.service`).
+
+Spec surface: ``RuntimeSpec(engine="asyncio-virtual")`` /
+``repro churn --runtime asyncio-virtual`` / ``repro run SPEC --runtime
+asyncio-virtual``.
+"""
+
+from .loop import VirtualClockEventLoop, VirtualTimeDeadlock, VirtualTimeError
+from .runtime import VirtualRuntime, run_cliff_edge_virtual
+
+__all__ = [
+    "VirtualClockEventLoop",
+    "VirtualTimeDeadlock",
+    "VirtualTimeError",
+    "VirtualRuntime",
+    "run_cliff_edge_virtual",
+]

@@ -1,0 +1,354 @@
+"""A deterministic virtual-time asyncio event loop.
+
+:class:`VirtualClockEventLoop` implements the ``asyncio.AbstractEventLoop``
+surface the repo's protocol code touches, but its clock is the
+simulator's: ``time()``/``call_later()``/``call_at()`` delegate to a
+:class:`~repro.sim.scheduler.KeyedEventScheduler`, so an ``await
+asyncio.sleep(5.0)`` completes after five *virtual* seconds and zero real
+ones.  Driving the loop pops scheduler events in ``(time, key)`` order —
+nothing ever blocks on a wall clock, an OS selector, or thread timing.
+
+Determinism is the point, and it rests on two properties:
+
+* **a FIFO-stable ready queue** — ``call_soon`` schedules at the current
+  virtual time, so ready callbacks (task steps, future wakeups) run
+  before time advances, in a total order independent of hashing;
+* **genealogical tie-break keys** — every scheduled callback gets a key
+  minted from the key of the event that scheduled it (``parent + (n,)``
+  for the parent's ``n``-th child, root events numbered in submission
+  order).  Same-timestamp ties therefore break by *causal history*, a
+  pure function of the program, never of ``id()``, hash order, or which
+  worker process is running.  This is the same contract the partitioned
+  simulator backend uses (see :mod:`repro.sim.partition`), carried by the
+  same :class:`~repro.sim.scheduler.KeyedEventScheduler`.
+
+The pattern — an ``AbstractEventLoop`` whose timers are entries in a
+deterministic discrete-event scheduler — follows OpenEnv's Rust-backed
+event loop; here the scheduler is the repo's own, so the *real*
+:class:`~repro.runtime.async_runtime.AsyncRuntime` protocol code runs
+unmodified, reproducibly, at simulator speed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import warnings
+from asyncio import events as _events
+from typing import Any, Callable, Optional
+
+from ..sim.scheduler import EventHandle, KeyedEventScheduler
+
+_INFINITY = float("inf")
+
+
+class VirtualTimeError(RuntimeError):
+    """Raised on virtual-loop misuse (nested runs, closed loop, ...)."""
+
+
+class VirtualTimeDeadlock(VirtualTimeError):
+    """The virtual clock ran dry while a future was still pending.
+
+    In virtual time there is no "wait and see": if the scheduler holds no
+    event, no timer will ever fire and no callback will ever run, so a
+    pending future can never complete.  Real-time code that would hang
+    silently fails loudly here instead.
+    """
+
+
+class VirtualClockEventLoop(asyncio.AbstractEventLoop):
+    """An asyncio event loop on simulated time.
+
+    Parameters
+    ----------
+    scheduler:
+        The backing :class:`~repro.sim.scheduler.KeyedEventScheduler`.
+        A fresh one is created by default; passing one in lets a caller
+        interleave loop callbacks with other keyed clients of the same
+        clock.
+    """
+
+    def __init__(self, scheduler: Optional[KeyedEventScheduler] = None) -> None:
+        if scheduler is None:
+            scheduler = KeyedEventScheduler()
+        self._scheduler = scheduler
+        # run_window() publishes each executing entry's (time, key) into
+        # its context and zeroes the child counter — the same per-event
+        # contract the partition simulator uses.  The loop is its own
+        # context: _next_key() reads these fields to mint genealogical
+        # child keys.
+        scheduler.context = self
+        self._ctx_time = 0.0
+        self._ctx_key: Optional[tuple] = None
+        self._ctx_children = 0
+        self._ctx_emits = 0
+        self._root_sequence = 0
+        #: Live scheduler entries by handle identity, so a cancelled
+        #: asyncio handle cancels its scheduler entry (lazy deletion).
+        self._entries: dict[int, EventHandle] = {}
+        self._running = False
+        self._stopping = False
+        self._closed = False
+        self._debug = False
+        self._exception_handler: Optional[Callable[..., None]] = None
+        self._task_factory: Optional[Callable[..., Any]] = None
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def time(self) -> float:
+        """Current *virtual* time (the scheduler's clock)."""
+        return self._scheduler.now
+
+    @property
+    def scheduler(self) -> KeyedEventScheduler:
+        return self._scheduler
+
+    @property
+    def processed_events(self) -> int:
+        """Callbacks executed so far (observability for benches/tests)."""
+        return self._scheduler.processed_events
+
+    # ------------------------------------------------------------------
+    # Genealogical keys
+    # ------------------------------------------------------------------
+    def _next_key(self) -> tuple:
+        if self._ctx_key is not None:
+            key = self._ctx_key + (self._ctx_children,)
+            self._ctx_children += 1
+            return key
+        key = (self._root_sequence,)
+        self._root_sequence += 1
+        return key
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _check_closed(self) -> None:
+        if self._closed:
+            raise VirtualTimeError("operation on a closed VirtualClockEventLoop")
+
+    def call_soon(
+        self, callback: Callable[..., Any], *args: Any, context: Any = None
+    ) -> asyncio.Handle:
+        """Schedule at the current virtual time (the FIFO ready queue)."""
+        self._check_closed()
+        handle = asyncio.Handle(callback, args, self, context)
+        self._schedule_handle(self._scheduler.now, handle)
+        return handle
+
+    def call_soon_threadsafe(
+        self, callback: Callable[..., Any], *args: Any, context: Any = None
+    ) -> asyncio.Handle:
+        # The virtual loop is single-threaded by construction — real
+        # threads would reintroduce the nondeterminism it exists to kill
+        # — so threadsafe scheduling is plain scheduling.
+        return self.call_soon(callback, *args, context=context)
+
+    def call_later(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        context: Any = None,
+    ) -> asyncio.TimerHandle:
+        return self.call_at(
+            self._scheduler.now + max(0.0, float(delay)),
+            callback,
+            *args,
+            context=context,
+        )
+
+    def call_at(
+        self,
+        when: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        context: Any = None,
+    ) -> asyncio.TimerHandle:
+        """Schedule at an absolute virtual time (clamped to ``now``)."""
+        self._check_closed()
+        when = float(when)
+        handle = asyncio.TimerHandle(when, callback, args, self, context)
+        self._schedule_handle(max(self._scheduler.now, when), handle)
+        return handle
+
+    def _schedule_handle(self, time: float, handle: Any) -> None:
+        entry = self._scheduler.schedule_keyed(
+            time, self._next_key(), lambda: self._run_handle(handle)
+        )
+        self._entries[id(handle)] = entry
+
+    def _run_handle(self, handle: Any) -> None:
+        self._entries.pop(id(handle), None)
+        if not handle.cancelled():
+            handle._run()
+
+    def _timer_handle_cancelled(self, handle: asyncio.TimerHandle) -> None:
+        # asyncio.TimerHandle.cancel() notifies its loop; drop the
+        # scheduler entry so a cancel-heavy workload (failure-detector
+        # churn) keeps the heap bounded by live events.
+        entry = self._entries.pop(id(handle), None)
+        if entry is not None:
+            entry.cancel()
+
+    # ------------------------------------------------------------------
+    # Futures and tasks
+    # ------------------------------------------------------------------
+    def create_future(self) -> asyncio.Future:
+        return asyncio.Future(loop=self)
+
+    def create_task(self, coro: Any, *, name: Any = None, context: Any = None):
+        self._check_closed()
+        if self._task_factory is not None:
+            task = self._task_factory(self, coro)
+            if name is not None:
+                task.set_name(name)
+            return task
+        if context is not None:
+            return asyncio.Task(coro, loop=self, name=name, context=context)
+        return asyncio.Task(coro, loop=self, name=name)
+
+    def set_task_factory(self, factory: Optional[Callable[..., Any]]) -> None:
+        self._task_factory = factory
+
+    def get_task_factory(self) -> Optional[Callable[..., Any]]:
+        return self._task_factory
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run_until_complete(
+        self, future: Any, *, max_events: Optional[int] = None
+    ) -> Any:
+        """Drive the scheduler until ``future`` resolves; return its result.
+
+        Raises :class:`VirtualTimeDeadlock` when the scheduler runs dry
+        with the future still pending, and :class:`VirtualTimeError` when
+        ``max_events`` callbacks execute without completion (the virtual
+        analogue of the simulator's event budget).
+        """
+        self._check_closed()
+        future = asyncio.ensure_future(future, loop=self)
+        self._drive(until_done=future, max_events=max_events)
+        if not future.done():
+            future.cancel()
+            raise VirtualTimeError(
+                f"event budget exhausted after {max_events} callbacks with "
+                "the run still pending"
+            )
+        return future.result()
+
+    def run_forever(self) -> None:
+        """Drive until :meth:`stop` or the scheduler drains."""
+        self._check_closed()
+        self._drive()
+
+    def stop(self) -> None:
+        self._stopping = True
+
+    def _drive(
+        self, until_done: Optional[asyncio.Future] = None, max_events: Optional[int] = None
+    ) -> None:
+        if self._running:
+            raise VirtualTimeError("VirtualClockEventLoop is already running")
+        scheduler = self._scheduler
+        self._running = True
+        self._stopping = False
+        previous_loop = _events._get_running_loop()
+        _events._set_running_loop(self)
+        try:
+            executed = 0
+            while not self._stopping:
+                if until_done is not None and until_done.done():
+                    return
+                if scheduler.is_idle():
+                    if until_done is not None:
+                        raise VirtualTimeDeadlock(
+                            "virtual clock ran dry at "
+                            f"t={scheduler.now:.6f} with the run still "
+                            "pending: no timer or callback will ever "
+                            "complete the awaited future"
+                        )
+                    return
+                if max_events is not None and executed >= max_events:
+                    return
+                # One scheduler event per window keeps the per-event
+                # context (time, key, child counter) scoped exactly to
+                # that event's execution.
+                executed += scheduler.run_window(
+                    _INFINITY, inclusive=True, max_events=1
+                )
+        finally:
+            self._running = False
+            self._stopping = False
+            _events._set_running_loop(previous_loop)
+
+    # ------------------------------------------------------------------
+    # State / lifecycle
+    # ------------------------------------------------------------------
+    def is_running(self) -> bool:
+        return self._running
+
+    def is_closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._running:
+            raise VirtualTimeError("cannot close a running VirtualClockEventLoop")
+        self._closed = True
+
+    async def shutdown_asyncgens(self) -> None:  # pragma: no cover - trivial
+        return None
+
+    async def shutdown_default_executor(self, timeout: Optional[float] = None) -> None:  # pragma: no cover - trivial
+        return None
+
+    # ------------------------------------------------------------------
+    # Debug / exception plumbing (the parts asyncio internals require)
+    # ------------------------------------------------------------------
+    def get_debug(self) -> bool:
+        return self._debug
+
+    def set_debug(self, enabled: bool) -> None:
+        self._debug = bool(enabled)
+
+    def set_exception_handler(self, handler: Optional[Callable[..., None]]) -> None:
+        self._exception_handler = handler
+
+    def get_exception_handler(self) -> Optional[Callable[..., None]]:
+        return self._exception_handler
+
+    def default_exception_handler(self, context: dict) -> None:
+        self._raise_from_context(context)
+
+    def call_exception_handler(self, context: dict) -> None:
+        """Fail loudly: a swallowed callback error is a silent fork in a
+        run that is supposed to be a pure function of its spec.
+
+        The one exception is teardown: once the loop has stopped driving
+        (budget exhausted, run abandoned), garbage collection of still-
+        pending tasks reports through this handler from ``__del__``,
+        where a raise can only print "Exception ignored" noise — so
+        outside :meth:`_drive` the report becomes a warning instead.
+        """
+        if self._exception_handler is not None:
+            self._exception_handler(self, context)
+            return
+        if not self._running:
+            warnings.warn(
+                "VirtualClockEventLoop teardown: "
+                + str(context.get("message") or context.get("exception")),
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return
+        self._raise_from_context(context)
+
+    @staticmethod
+    def _raise_from_context(context: dict) -> None:
+        exception = context.get("exception")
+        if isinstance(exception, BaseException):
+            raise exception
+        raise VirtualTimeError(
+            str(context.get("message") or "unhandled error in VirtualClockEventLoop")
+        )

@@ -257,3 +257,46 @@ class TestRemoteWorker:
         assert finished["worker"] == "remote-test"
         assert finished["digest"] == local_digest
         assert client.result(job["id"])["envelope"]["digest"] == local_digest
+
+    def test_process_pool_worker_matches_inline_digests(self, workerless_server):
+        """``repro work --processes N``: jobs run in forked children, and
+        every digest equals what an inline run of the same spec produces."""
+        client = ServiceClient(workerless_server.url)
+        expected = {}
+        for seed in (3, 4, 5):
+            spec = small_spec(seed=seed)
+            job = client.submit(spec.to_dict())["job"]
+            expected[job["id"]] = run_spec(spec).digest()
+
+        loop = WorkerLoop(
+            ServiceClient(workerless_server.url),
+            name="pooled-test",
+            poll_interval=0.05,
+            drain=True,
+            processes=2,
+        )
+        loop.run()
+        assert loop.completed == 3
+        assert loop.failed == 0
+        for job_id, digest in expected.items():
+            finished = client.job(job_id)
+            assert finished["state"] == "done"
+            assert finished["digest"] == digest
+
+    def test_pool_reports_child_failures(self, workerless_server):
+        client = ServiceClient(workerless_server.url)
+        bad = small_spec(seed=6).to_dict()
+        bad["topology"]["params"]["width"] = 0  # resolves, then fails to build
+        job = client.submit(bad)["job"]
+        loop = WorkerLoop(
+            ServiceClient(workerless_server.url),
+            name="pooled-fail",
+            poll_interval=0.05,
+            drain=True,
+            processes=1,
+        )
+        loop.run()
+        assert loop.failed == 1
+        finished = client.job(job["id"])
+        assert finished["state"] == "failed"
+        assert finished["error"]

@@ -285,3 +285,76 @@ class TestGridExpansion:
         assert all(task.seed is not None for task in tasks)
         restored = pickle.loads(pickle.dumps(tasks))
         assert [t.params for t in restored] == [t.params for t in tasks]
+
+
+class TestFamilyGridExpansion:
+    def family_sweep(self, **overrides):
+        params = dict(
+            family="churn-scenario",
+            family_params={"scenario": "steady"},
+            seeds=(0, 1),
+            grid={"nodes": (16, 36)},
+        )
+        params.update(overrides)
+        return SweepSpec(**params)
+
+    def test_grid_crosses_family_params_and_seeds(self):
+        sweep = self.family_sweep()
+        tasks = sweep.tasks()
+        assert len(tasks) == len(sweep) == 4
+        assert [task.params["nodes"] for task in tasks] == [16, 16, 36, 36]
+        assert [task.seed for task in tasks] == [0, 1, 0, 1]
+        assert all(task.params["scenario"] == "steady" for task in tasks)
+
+    def test_labels_carry_the_grid_point(self):
+        labels = [task.display_label() for task in self.family_sweep().tasks()]
+        assert labels == [
+            "churn-scenario[nodes=16]",
+            "churn-scenario[nodes=16]",
+            "churn-scenario[nodes=36]",
+            "churn-scenario[nodes=36]",
+        ]
+
+    def test_no_grid_keeps_bare_family_label(self):
+        tasks = self.family_sweep(grid={}).tasks()
+        assert [task.display_label() for task in tasks] == ["churn-scenario"] * 2
+
+    def test_dotted_paths_reach_nested_params(self):
+        sweep = self.family_sweep(
+            family_params={"scenario": "steady", "tuning": {"rate": 0.1}},
+            grid={"tuning.rate": (0.1, 0.2)},
+            seeds=(5,),
+        )
+        points = sweep.expand_family_params()
+        assert [params["tuning"]["rate"] for params, _ in points] == [0.1, 0.2]
+        assert [label for _, label in points] == ["rate=0.1", "rate=0.2"]
+
+    def test_coupled_axes_move_in_lockstep(self):
+        sweep = self.family_sweep(
+            family_params={},
+            grid={"width|height": (4, 6)},
+            seeds=(0,),
+        )
+        points = [params for params, _ in sweep.expand_family_params()]
+        assert points == [
+            {"width": 4, "height": 4},
+            {"width": 6, "height": 6},
+        ]
+
+    def test_seed_axis_rejected_in_family_mode(self):
+        with pytest.raises(SpecError, match="seeds"):
+            self.family_sweep(grid={"seed": (1, 2)}, seeds=())
+
+    def test_round_trips_through_json(self):
+        sweep = self.family_sweep()
+        restored = SweepSpec.from_json(sweep.to_json())
+        assert restored == sweep
+        assert restored.digest() == sweep.digest()
+        assert [t.params for t in restored.tasks()] == [
+            t.params for t in sweep.tasks()
+        ]
+
+    def test_experiment_mode_rejects_family_expansion(self):
+        sweep = SweepSpec(experiment=grid_spec(), seeds=(0,))
+        with pytest.raises(SpecError, match="experiment-mode"):
+            sweep.expand_family_params()

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 
 import pytest
 
@@ -162,6 +163,86 @@ class TestResultStore:
         with pytest.raises(ServiceError):
             ResultStore(tmp_path).put(job_key(spec), spec.to_dict(), bad)
         assert len(ResultStore(tmp_path)) == 0
+
+
+class TestStoreByteBudget:
+    def entry_size(self, tmp_path, executed):
+        spec, envelope = executed
+        probe = ResultStore(tmp_path / "probe")
+        probe.put("probex0", spec.to_dict(), envelope)
+        return probe.total_bytes()
+
+    def test_unbounded_by_default(self, tmp_path, executed):
+        spec, envelope = executed
+        store = ResultStore(tmp_path)
+        for index in range(5):
+            store.put(f"k{index}x0", spec.to_dict(), envelope)
+        assert len(store) == 5
+        assert store.evictions == 0
+        assert not store.journal_path.exists()
+
+    def test_rejects_nonpositive_budget(self, tmp_path):
+        with pytest.raises(ServiceError):
+            ResultStore(tmp_path, max_bytes=0)
+
+    def test_lru_eviction_on_overflow(self, tmp_path, executed):
+        spec, envelope = executed
+        size = self.entry_size(tmp_path, executed)
+        store = ResultStore(tmp_path / "store", max_bytes=2 * size + size // 2)
+        store.put("oldestx0", spec.to_dict(), envelope)
+        time.sleep(0.002)  # distinct mtimes even on coarse filesystems
+        store.put("middlex0", spec.to_dict(), envelope)
+        assert store.evictions == 0
+        time.sleep(0.002)
+        store.put("newestx0", spec.to_dict(), envelope)
+        assert store.evictions == 1
+        assert "oldestx0" not in store
+        assert "middlex0" in store and "newestx0" in store
+
+    def test_read_refreshes_recency(self, tmp_path, executed):
+        """A get() keeps an old-but-hot entry out of the eviction queue."""
+        spec, envelope = executed
+        size = self.entry_size(tmp_path, executed)
+        store = ResultStore(tmp_path / "store", max_bytes=2 * size + size // 2)
+        store.put("hotx0", spec.to_dict(), envelope)
+        time.sleep(0.002)
+        store.put("coldx0", spec.to_dict(), envelope)
+        time.sleep(0.002)
+        assert store.get("hotx0") is not None  # now the most recently used
+        time.sleep(0.002)
+        store.put("newx0", spec.to_dict(), envelope)
+        assert "hotx0" in store
+        assert "coldx0" not in store
+
+    def test_just_written_entry_never_evicted(self, tmp_path, executed):
+        spec, envelope = executed
+        store = ResultStore(tmp_path, max_bytes=1)  # smaller than one entry
+        store.put("onlyx0", spec.to_dict(), envelope)
+        assert "onlyx0" in store
+
+    def test_evictions_are_journaled(self, tmp_path, executed):
+        spec, envelope = executed
+        size = self.entry_size(tmp_path, executed)
+        store = ResultStore(tmp_path / "store", max_bytes=size)
+        store.put("firstx0", spec.to_dict(), envelope)
+        store.put("secondx0", spec.to_dict(), envelope)
+        records = [
+            json.loads(line)
+            for line in store.journal_path.read_text().splitlines()
+        ]
+        assert [record["key"] for record in records] == ["firstx0"]
+        assert records[0]["op"] == "evict"
+        assert records[0]["reason"] == "store-byte-budget"
+        assert records[0]["bytes"] > 0
+
+    def test_journal_not_counted_as_entry(self, tmp_path, executed):
+        spec, envelope = executed
+        size = self.entry_size(tmp_path, executed)
+        store = ResultStore(tmp_path / "store", max_bytes=size)
+        store.put("firstx0", spec.to_dict(), envelope)
+        store.put("secondx0", spec.to_dict(), envelope)
+        assert list(store.keys()) == ["secondx0"]
+        assert store.get("firstx0") is None
 
 
 # ---------------------------------------------------------------------------
