@@ -1,0 +1,154 @@
+"""Fault-injection benchmark: what breaking the channels costs.
+
+Times the quickstart cliff-edge scenario fault-free and under each link
+fault model (loss, duplication, bounded reordering, and all three
+composed) and writes the measurements to ``BENCH_faults.json``.
+
+Two things are asserted loudly:
+
+* **determinism** — every faulted configuration is run twice and must be
+  digest-identical; the fault layer's keyed per-message RNG makes the
+  injected faults a pure function of the spec, so any drift here is a
+  contract violation, not noise;
+* **overhead** — the per-message fault decision is one keyed hash plus a
+  few RNG draws, so even the composed model must stay within
+  ``MAX_OVERHEAD``x of the fault-free wall time.
+
+Reading the numbers: ``overhead_vs_baseline`` is ``wall(faulted) /
+wall(fault-free)`` using the best of two runs on each side; ``lost`` /
+``duplicated`` count the injected fault events in the trace.
+
+Run directly::
+
+    python benchmarks/bench_faults.py [--smoke] [--side N] [--seed S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from time import perf_counter
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro  # noqa: E402
+from repro.api import ExperimentSession, quickstart_spec  # noqa: E402
+from repro.sim import EventKind  # noqa: E402
+
+MAX_OVERHEAD = 5.0
+
+FAULT_CONFIGS: dict[str, dict | None] = {
+    "fault-free": None,
+    "loss": {"loss": 0.05},
+    "duplication": {"duplication": 0.2, "copies": 2},
+    "reorder": {"reorder": 1.0, "reorder_rate": 0.5},
+    "composed": {"loss": 0.02, "duplication": 0.1, "reorder": 0.5},
+}
+
+
+def run_benchmark(side: int, block: int, seed: int) -> dict:
+    session = ExperimentSession()
+    base = quickstart_spec(side=side, block=block, seed=seed)
+    runs = []
+
+    for label, faults in FAULT_CONFIGS.items():
+        spec = base.with_faults(faults) if faults else base
+        walls, digests = [], []
+        result = None
+        for _ in range(2):
+            started = perf_counter()
+            result = session.run(spec)
+            walls.append(perf_counter() - started)
+            digests.append(result.digest())
+        if digests[0] != digests[1]:
+            raise AssertionError(
+                f"{label}: two runs of the same spec produced different "
+                f"digests ({digests[0][:12]} vs {digests[1][:12]}) — the "
+                "determinism contract is broken"
+            )
+        runs.append(
+            {
+                "faults": faults,
+                "label": label,
+                "wall_time_s": round(min(walls), 4),
+                "digest": digests[0],
+                "events": len(result.trace),
+                "lost": len(list(result.trace.of_kind(EventKind.MESSAGE_LOST))),
+                "duplicated": len(
+                    list(result.trace.of_kind(EventKind.MESSAGE_DUPLICATED))
+                ),
+                "spec_holds": result.specification.holds,
+                "quiescent": result.quiescent,
+            }
+        )
+
+    baseline = runs[0]["wall_time_s"]
+    for run in runs:
+        run["overhead_vs_baseline"] = (
+            round(run["wall_time_s"] / baseline, 3) if baseline > 0 else float("inf")
+        )
+    return {
+        "benchmark": "bench_faults",
+        "version": repro.__version__,
+        "config": {
+            "side": side,
+            "block": block,
+            "seed": seed,
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "runs": runs,
+        "digest_stable": True,
+        "max_overhead_required": MAX_OVERHEAD,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny CI configuration (8x8 grid)"
+    )
+    parser.add_argument("--side", type=int, default=None)
+    parser.add_argument("--block", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_faults.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke or os.environ.get("REPRO_BENCH_SMOKE"):
+        side = args.side or 8
+    else:
+        side = args.side or 16
+    result = run_benchmark(side=side, block=args.block, seed=args.seed)
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    for run in result["runs"]:
+        print(
+            f"{run['label']}: wall={run['wall_time_s']}s "
+            f"overhead={run['overhead_vs_baseline']}x events={run['events']} "
+            f"lost={run['lost']} duplicated={run['duplicated']} "
+            f"digest={run['digest'][:12]}"
+        )
+    worst = max(run["overhead_vs_baseline"] for run in result["runs"])
+    print(
+        f"worst overhead vs fault-free: {worst}x "
+        f"(required <= {MAX_OVERHEAD}x)  -> {args.output}"
+    )
+    if worst > MAX_OVERHEAD:
+        print(
+            "FAIL: fault injection must stay within "
+            f"{MAX_OVERHEAD}x of the fault-free wall time",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,8 +54,11 @@ from .cache import (
 )
 from .extractors import EXTRACTOR_KINDS, get_extractor
 from .presets import (
+    FAULT_PRESETS,
     churn_scenario_description,
     churn_scenario_spec,
+    fault_preset,
+    fault_sweep_spec,
     figure_spec,
     locality_sweep_spec,
     property_sweep_spec,
@@ -121,4 +124,7 @@ __all__ = [
     "property_sweep_spec",
     "repair_spec",
     "torus_sweep_spec",
+    "FAULT_PRESETS",
+    "fault_preset",
+    "fault_sweep_spec",
 ]

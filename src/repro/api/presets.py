@@ -294,6 +294,61 @@ def repair_spec(
     )
 
 
+#: Named link-fault configurations for ``--faults`` (see
+#: :attr:`~repro.api.specs.RuntimeSpec.faults` for the knobs).  The rates
+#: are deliberately mild: they degrade liveness measurably without
+#: making every run vacuously undecided.
+FAULT_PRESETS = {
+    # 2% of messages silently vanish.
+    "lossy": {"loss": 0.02},
+    # one message in five arrives twice.
+    "dupes": {"duplication": 0.2},
+    # every message may be overtaken by up to one latency unit of traffic.
+    "jumbled": {"reorder": 1.0},
+    # all three at once, each mild.
+    "hostile": {"loss": 0.01, "duplication": 0.1, "reorder": 0.5},
+}
+
+
+def fault_preset(name: str) -> dict:
+    """The ``faults`` block of a named preset (a fresh mutable copy)."""
+    try:
+        return dict(FAULT_PRESETS[name])
+    except KeyError:
+        raise SpecError(
+            f"unknown fault preset {name!r}; known: "
+            f"{', '.join(sorted(FAULT_PRESETS))}"
+        ) from None
+
+
+def fault_sweep_spec(
+    axis: str = "loss",
+    rates=(0.0, 0.01, 0.02, 0.05),
+    side: int = 6,
+    block: int = 2,
+    seeds=(0, 1, 2),
+    workers: int = 1,
+) -> SweepSpec:
+    """A degradation sweep: the quickstart scenario under growing faults.
+
+    ``axis`` is the fault knob to sweep (``loss``, ``duplication`` or
+    ``reorder``) and ``rates`` its values — a grid axis at
+    ``runtime.faults.<axis>``, crossed with ``seeds``.  Feed the finished
+    report to :func:`repro.experiments.degradation_from_sweep` for the
+    per-property degradation table.  Note ``reorder`` rates are window
+    widths and must be positive; a 0 is only valid on the probability
+    axes, where it doubles as the fault-free baseline.
+    """
+    template = quickstart_spec(side=side, block=block)
+    return SweepSpec(
+        name=f"faults-{axis}",
+        experiment=template,
+        seeds=tuple(seeds),
+        grid={f"runtime.faults.{axis}": list(rates)},
+        workers=workers,
+    )
+
+
 def property_sweep_spec(
     cases: int = 10, workers: int = 1, churn: bool = False, base_seed: int = 0
 ) -> SweepSpec:

@@ -163,6 +163,7 @@ class ExperimentSession:
                 virtual=virtual,
                 failure_detector=runtime.resolve_failure_detector(),
                 max_events=runtime.max_events if virtual else None,
+                faults=runtime.resolve_faults(),
             )
         elif runtime.partitions > 1:
             from ..sim.partition import run_partitioned
@@ -194,6 +195,7 @@ class ExperimentSession:
                 max_events=runtime.max_events,
                 until=runtime.until,
                 collection=runtime.collection,
+                faults=runtime.resolve_faults(),
             )
         elif spec.membership.is_static:
             from ..experiments.runner import run_cliff_edge
@@ -215,6 +217,7 @@ class ExperimentSession:
                 until=runtime.until,
                 batch_dispatch=runtime.batched,
                 collection=runtime.collection,
+                faults=runtime.resolve_faults(),
             )
         else:
             if not spec.arbitration or spec.early_termination:
@@ -235,6 +238,7 @@ class ExperimentSession:
                 max_events=runtime.max_events,
                 until=runtime.until,
                 batch_dispatch=runtime.batched,
+                faults=runtime.resolve_faults(),
             )
         result.labels.update(dict(spec.labels))
         if spec.name:

@@ -524,6 +524,18 @@ class RuntimeSpec(_SpecBase):
     reconstruction both walk the full trace, a digest-mode experiment
     must set ``check=False`` and use a static failure model.  Serialized
     only when not the default, like ``partitions``.
+
+    ``faults`` injects deterministic link faults (:mod:`repro.sim.faults`)
+    on every engine.  It is a flat mapping of knobs — ``loss`` (per-link
+    drop probability, ``< 1``), ``duplication`` (+ optional ``copies``,
+    default 2), ``reorder`` (a bounded extra-delay window in simulated
+    time units, + optional ``reorder_rate``, default 1) and an optional
+    extra ``seed`` — resolved into a composition applied in the fixed
+    order loss → duplication → reorder.  Every decision is keyed by the
+    run seed and the message's per-channel send index, so fault sweeps
+    digest-reproduce exactly like fault-free runs.  Validated at
+    construction; serialized only when set, so fault-free documents and
+    digests are byte-identical to before the field existed.
     """
 
     engine: str = "sim"
@@ -538,9 +550,16 @@ class RuntimeSpec(_SpecBase):
     detection_delay: float = 0.01
     time_scale: float = 0.01
     timeout: float = 60.0
+    #: Optional link-fault knobs (all engines); ``None`` — the default —
+    #: keeps the paper's reliable FIFO channels and is not serialized.
+    faults: Optional[Mapping[str, Any]] = None
 
     ENGINES = ("sim", "asyncio", "asyncio-virtual")
     COLLECTIONS = ("trace", "digest")
+    #: The knobs a ``faults`` block may set.
+    FAULT_KEYS = frozenset(
+        {"loss", "duplication", "copies", "reorder", "reorder_rate", "seed"}
+    )
 
     def __post_init__(self) -> None:
         if self.engine not in self.ENGINES:
@@ -570,9 +589,21 @@ class RuntimeSpec(_SpecBase):
                 "trace)"
             )
         if self.latency is not None:
-            object.__setattr__(self, "latency", freeze(self.latency))
+            latency = _require_mapping(self.latency, "RuntimeSpec.latency")
+            object.__setattr__(self, "latency", freeze(latency))
+            # Resolve now and discard: an unknown kind or a bad parameter
+            # (negative delay, misspelled key) must fail at construction,
+            # not deep inside a sweep worker.
+            self.resolve_latency()
         if self.failure_detector is not None:
             object.__setattr__(self, "failure_detector", freeze(self.failure_detector))
+        if self.faults is not None:
+            faults = _require_mapping(self.faults, "RuntimeSpec.faults")
+            _check_keys(faults, self.FAULT_KEYS, "RuntimeSpec.faults")
+            object.__setattr__(self, "faults", freeze(faults))
+            # Resolve now and discard: a negative rate or an inert block
+            # must fail at construction, not deep inside a sweep worker.
+            self.resolve_faults()
 
     def to_dict(self) -> dict[str, Any]:
         data = {
@@ -595,6 +626,10 @@ class RuntimeSpec(_SpecBase):
         if self.collection != "trace":
             # Same rationale as partitions.
             data["collection"] = self.collection
+        if self.faults is not None:
+            # Same rationale again: fault-free documents (and digests)
+            # written before the fault layer existed stay byte-identical.
+            data["faults"] = thaw(self.faults)
         return data
 
     @classmethod
@@ -629,7 +664,12 @@ class RuntimeSpec(_SpecBase):
             raise SpecError(
                 f"unknown latency kind {kind!r}; known: {', '.join(sorted(models))}"
             ) from None
-        return model(**params)
+        try:
+            return model(**params)
+        except TypeError as exc:
+            raise SpecError(f"bad latency spec for kind {kind!r}: {exc}") from exc
+        except ValueError as exc:
+            raise SpecError(f"bad latency spec: {exc}") from exc
 
     def resolve_failure_detector(self):
         """Build the failure-detector policy (``None`` → runner default)."""
@@ -656,6 +696,63 @@ class RuntimeSpec(_SpecBase):
         raise SpecError(
             f"unknown failure-detector kind {kind!r}; known: perfect, jittered, scripted"
         )
+
+    def resolve_faults(self):
+        """Build the link-fault model (``None`` → reliable channels).
+
+        Stages compose in the fixed order loss → duplication → reorder;
+        each draws from its own keyed RNG stream, so enabling one knob
+        never perturbs another's decisions (see :mod:`repro.sim.faults`).
+        """
+        if self.faults is None:
+            return None
+        from ..sim.faults import (
+            DuplicatingLinks,
+            FaultsError,
+            LossyLinks,
+            ReorderingLinks,
+            compose_faults,
+        )
+
+        params = dict(self.faults)
+        seed = params.pop("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise SpecError(f"faults 'seed' must be an integer, got {seed!r}")
+        stages = []
+        try:
+            if "loss" in params:
+                stages.append(LossyLinks(rate=params.pop("loss"), seed=seed))
+            if "duplication" in params:
+                stages.append(
+                    DuplicatingLinks(
+                        rate=params.pop("duplication"),
+                        copies=params.pop("copies", 2),
+                        seed=seed,
+                    )
+                )
+            if "reorder" in params:
+                stages.append(
+                    ReorderingLinks(
+                        window=params.pop("reorder"),
+                        rate=params.pop("reorder_rate", 1.0),
+                        seed=seed,
+                    )
+                )
+        except FaultsError as exc:
+            raise SpecError(f"bad faults spec: {exc}") from exc
+        if params:
+            # Orphaned modifiers would silently do nothing — fail loudly.
+            raise SpecError(
+                f"faults keys {', '.join(map(repr, sorted(params)))} need their "
+                "base knob ('copies' needs 'duplication', 'reorder_rate' "
+                "needs 'reorder')"
+            )
+        if not stages:
+            raise SpecError(
+                "faults block enables no fault: set 'loss', 'duplication' "
+                "and/or 'reorder'"
+            )
+        return compose_faults(*stages)
 
 
 # ---------------------------------------------------------------------------
@@ -763,6 +860,17 @@ class ExperimentSpec(_SpecBase):
         """The same experiment on ``partitions`` simulator shards."""
         return dataclasses.replace(
             self, runtime=dataclasses.replace(self.runtime, partitions=partitions)
+        )
+
+    def with_faults(self, faults: Optional[Mapping[str, Any]]) -> "ExperimentSpec":
+        """The same experiment with link faults injected (``None`` clears).
+
+        ``faults`` is the flat knob mapping of
+        :attr:`RuntimeSpec.faults` — e.g. ``{"loss": 0.05}`` or
+        ``{"duplication": 0.1, "copies": 3, "reorder": 0.5}``.
+        """
+        return dataclasses.replace(
+            self, runtime=dataclasses.replace(self.runtime, faults=faults)
         )
 
     def with_collection(self, collection: str) -> "ExperimentSpec":

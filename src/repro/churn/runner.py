@@ -25,6 +25,7 @@ from ..sim import (
     ConstantLatency,
     EventScheduler,
     FailureDetectorPolicy,
+    FaultModel,
     LatencyModel,
     PerfectFailureDetector,
     Simulator,
@@ -160,6 +161,7 @@ def run_churn(
     max_events: int = 5_000_000,
     until: Optional[float] = None,
     batch_dispatch: bool = True,
+    faults: Optional[FaultModel] = None,
 ) -> ChurnRunResult:
     """Run a churn scenario on the deterministic simulator."""
     membership.validate(graph, schedule)
@@ -173,6 +175,7 @@ def run_churn(
         ),
         seed=seed,
         scheduler=EventScheduler(batch_dispatch=batch_dispatch),
+        faults=faults,
     )
 
     def default_factory(node_id: NodeId) -> CliffEdgeNode:
@@ -214,6 +217,7 @@ def run_churn_asyncio(
     virtual: bool = False,
     failure_detector: Optional[FailureDetectorPolicy] = None,
     max_events: Optional[int] = None,
+    faults: Optional[FaultModel] = None,
 ) -> ChurnRunResult:
     """Run the same churn scenario on the asyncio runtime.
 
@@ -221,7 +225,9 @@ def run_churn_asyncio(
     deterministic virtual-time loop (:mod:`repro.vtime`): zero real
     sleeps, digest-reproducible, and ``max_events`` bounds the loop's
     callback budget.  ``failure_detector`` (a simulator policy object)
-    works on both clocks.
+    and ``faults`` (a :mod:`repro.sim.faults` model — fault decisions
+    are keyed by message identity, so only the virtual loop makes the
+    resulting run reproducible end to end) work on both clocks.
     """
     membership.validate(graph, schedule)
     factory = node_factory if node_factory is not None else CliffEdgeNode
@@ -238,6 +244,7 @@ def run_churn_asyncio(
             membership=membership,
             seed=seed,
             failure_detector=failure_detector,
+            faults=faults,
             max_events=max_events,
         )
     else:
@@ -251,6 +258,7 @@ def run_churn_asyncio(
             membership=membership,
             seed=seed,
             failure_detector=failure_detector,
+            faults=faults,
         )
     result = ChurnRunResult(
         base_graph=graph,

@@ -60,6 +60,74 @@ def _write_json(write: Callable[[str], object], payload: dict) -> None:
     write(json.dumps(payload, indent=2, sort_keys=True))
 
 
+#: The ``--faults`` knobs and how to parse their values.
+_FAULT_KNOB_TYPES = {
+    "loss": float,
+    "duplication": float,
+    "copies": int,
+    "reorder": float,
+    "reorder_rate": float,
+    "seed": int,
+}
+
+#: Knobs a sweep may colon-expand into degradation axes.
+_FAULT_AXIS_KNOBS = ("loss", "duplication", "reorder")
+
+
+def _parse_faults(text: str, sweep: bool = False) -> tuple[dict, dict]:
+    """Parse a ``--faults`` argument into ``(block, axes)``.
+
+    ``text`` is either a preset name (``lossy``, ``dupes``, ``jumbled``,
+    ``hostile``) or comma-separated ``knob=value`` pairs.  With
+    ``sweep=True`` a colon-separated value list (``loss=0:0.02:0.05``)
+    becomes a degradation axis in ``axes``; scalars stay in ``block``.
+    """
+    from .api import SpecError, fault_preset
+
+    if "=" not in text:
+        return fault_preset(text.strip()), {}
+    block: dict = {}
+    axes: dict = {}
+    for pair in text.split(","):
+        pair = pair.strip()
+        if not pair:
+            continue
+        knob, _, raw = pair.partition("=")
+        knob = knob.strip()
+        try:
+            cast = _FAULT_KNOB_TYPES[knob]
+        except KeyError:
+            raise SpecError(
+                f"unknown --faults knob {knob!r}; known: "
+                f"{', '.join(sorted(_FAULT_KNOB_TYPES))} (or a preset name)"
+            ) from None
+        try:
+            values = [cast(value) for value in raw.split(":")]
+        except ValueError:
+            raise SpecError(
+                f"bad --faults value for {knob!r}: {raw!r} "
+                f"(expected {cast.__name__}, ':'-separated to sweep)"
+            ) from None
+        if len(values) > 1:
+            if not sweep:
+                raise SpecError(
+                    f"--faults {knob} lists several values; colon lists "
+                    "sweep a degradation axis and only `repro sweep "
+                    "--faults` accepts them"
+                )
+            if knob not in _FAULT_AXIS_KNOBS:
+                raise SpecError(
+                    f"--faults can only sweep {', '.join(_FAULT_AXIS_KNOBS)}; "
+                    f"{knob!r} is a modifier and takes one value"
+                )
+            axes[knob] = values
+        else:
+            block[knob] = values[0]
+    if not block and not axes:
+        raise SpecError("--faults is empty (give a preset name or knob=value pairs)")
+    return block, axes
+
+
 def _write_sweep_report(
     report, spec: SweepSpec, as_json: bool, write: Callable[[str], object]
 ) -> int:
@@ -181,6 +249,15 @@ def _cmd_sweep(args: argparse.Namespace, write: Callable[[str], object]) -> int:
     # value is distinguishable from "not passed" when combined with --spec.
     cases = args.cases if args.cases is not None else 10
     workers_requested = args.workers if args.workers is not None else 1
+    if args.faults:
+        if args.spec or args.churn:
+            write(
+                "--faults builds a degradation sweep from the quickstart "
+                "scenario; it conflicts with --spec and --churn (put a "
+                "'runtime.faults.*' axis in the sweep document instead)"
+            )
+            return 2
+        return _cmd_sweep_faults(args, cases, workers_requested, session, write)
     if args.spec:
         if args.cases is not None or args.churn:
             # The document defines the sweep; silently dropping explicit
@@ -247,6 +324,61 @@ def _cmd_sweep(args: argparse.Namespace, write: Callable[[str], object]) -> int:
     return 0 if summary["all_hold"] else 1
 
 
+def _cmd_sweep_faults(
+    args: argparse.Namespace,
+    cases: int,
+    workers_requested: int,
+    session: ExperimentSession,
+    write: Callable[[str], object],
+) -> int:
+    """``repro sweep --faults``: a degradation sweep + per-property table."""
+    import dataclasses
+
+    from .experiments import degradation_from_sweep
+    from .scale import resolve_workers
+
+    block, axes = _parse_faults(args.faults, sweep=True)
+    if not axes:
+        write(
+            "sweep --faults needs at least one ':'-separated axis, e.g. "
+            "--faults loss=0:0.02:0.05 (a single fault point runs with "
+            "`repro run --faults`)"
+        )
+        return 2
+    # Scalar knobs (and each axis' first value, for eager validation of
+    # the full combination) live on the template; only the colon lists
+    # become grid axes, so the degradation report's swept knob is
+    # unambiguous.  _override merges into the template's faults block.
+    template_faults = dict(block)
+    for knob, values in axes.items():
+        template_faults[knob] = values[0]
+    template = quickstart_spec(seed=args.seed).with_faults(template_faults)
+    spec = SweepSpec(
+        name="faults-" + "-".join(sorted(axes)),
+        experiment=template,
+        seeds=tuple(range(cases)),
+        grid={f"runtime.faults.{knob}": list(values) for knob, values in axes.items()},
+        workers=workers_requested,
+    )
+    if args.emit_spec:
+        write(spec.to_json())
+        return 0
+    spec = dataclasses.replace(spec, workers=resolve_workers(workers_requested))
+    report = session.run_sweep(spec)
+    degradation = degradation_from_sweep(spec, report)
+    if args.json:
+        payload = report.as_dict()
+        payload["degradation"] = degradation.as_dict()
+        _write_json(write, payload)
+    else:
+        write(degradation.summary())
+        write(
+            f"runs: {len(report)}  workers: {report.workers}  "
+            f"digest: {report.digest()[:12]}"
+        )
+    return 0 if degradation.acceptable else 1
+
+
 def _cmd_churn(args: argparse.Namespace, write: Callable[[str], object]) -> int:
     if args.emit_spec and args.runtime in ("both", "all"):
         # A single experiment spec describes one engine; emitting only the
@@ -264,6 +396,9 @@ def _cmd_churn(args: argparse.Namespace, write: Callable[[str], object]) -> int:
         seed=args.seed,
         runtime=args.runtime if args.runtime not in ("both", "all") else "sim",
     )
+    if args.faults:
+        block, _ = _parse_faults(args.faults)
+        spec = spec.with_faults(block)
     if args.emit_spec:
         write(spec.to_json())
         return 0
@@ -343,6 +478,13 @@ def _cmd_run(args: argparse.Namespace, write: Callable[[str], object]) -> int:
                 "runtime.engine on the sweep's base experiment instead"
             )
             return 2
+        if args.faults is not None:
+            write(
+                "--faults applies to single experiments; put a "
+                "'runtime.faults' block (or grid axis) in the sweep "
+                "document, or use `repro sweep --faults`"
+            )
+            return 2
         report = session.run_sweep(spec)
         return _write_sweep_report(report, spec, args.json, write)
     if args.runtime is not None:
@@ -351,6 +493,9 @@ def _cmd_run(args: argparse.Namespace, write: Callable[[str], object]) -> int:
         spec = spec.with_partitions(args.partitions)
     if args.collection is not None:
         spec = spec.with_collection(args.collection)
+    if args.faults is not None:
+        block, _ = _parse_faults(args.faults)
+        spec = spec.with_faults(block)
     result = session.run(spec)
     if args.json:
         _write_json(write, result.as_dict())
@@ -645,6 +790,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run a sweep spec JSON file ('-' for stdin) instead of EXP-C1",
     )
+    sweep.add_argument(
+        "--faults",
+        default=None,
+        help="degradation sweep: fault knobs as knob=value pairs where at "
+        "least one value is a ':'-separated axis (e.g. "
+        "'loss=0:0.02:0.05' or 'duplication=0.1:0.3,copies=3'); runs "
+        "the quickstart scenario at every (rate, seed) point and prints "
+        "which CD1-CD7 properties failed at which rate and whether the "
+        "fault model excuses them",
+    )
     _add_spec_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -678,6 +833,14 @@ def build_parser() -> argparse.ArgumentParser:
     # SUPPRESS keeps a pre-subcommand --seed intact when absent here.
     churn.add_argument(
         "--seed", type=int, default=argparse.SUPPRESS, help="deterministic seed"
+    )
+    churn.add_argument(
+        "--faults",
+        default=None,
+        help="inject deterministic link faults: a preset (lossy, dupes, "
+        "jumbled, hostile) or knob=value pairs such as "
+        "'loss=0.02,duplication=0.1'; identical across engines for a "
+        "given seed",
     )
     _add_spec_flags(churn)
     churn.set_defaults(func=_cmd_churn)
@@ -727,6 +890,16 @@ def build_parser() -> argparse.ArgumentParser:
         "the deterministic simulator, the wall-clock asyncio runtime, "
         "or the same asyncio runtime on the deterministic virtual-time "
         "loop",
+    )
+    run.add_argument(
+        "--faults",
+        default=None,
+        help="override the document's runtime.faults block: a preset "
+        "(lossy, dupes, jumbled, hostile) or comma-separated knob=value "
+        "pairs from {loss, duplication, copies, reorder, reorder_rate, "
+        "seed}, e.g. 'loss=0.02,reorder=0.5'; every fault decision is "
+        "drawn from a per-message keyed RNG, so the run stays "
+        "deterministic and digest-stable",
     )
     run.set_defaults(func=_cmd_run)
 

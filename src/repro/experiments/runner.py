@@ -21,6 +21,7 @@ from ..sim import (
     ConstantLatency,
     EventScheduler,
     FailureDetectorPolicy,
+    FaultModel,
     LatencyModel,
     PerfectFailureDetector,
     Simulator,
@@ -125,11 +126,14 @@ def build_simulator(
     node_factory: Optional[Callable[[NodeId], CliffEdgeNode]] = None,
     batch_dispatch: bool = True,
     collection: str = "trace",
+    faults: Optional[FaultModel] = None,
 ) -> Simulator:
     """Build a ready-to-run simulator with the protocol on every node.
 
     ``collection="digest"`` records no event log: the trace recorder
     folds the canonical digest and the run metrics as events fire.
+    ``faults`` installs a deterministic link-fault model
+    (:mod:`repro.sim.faults`); ``None`` keeps reliable FIFO channels.
     """
     schedule.validate(graph)
     sim = Simulator(
@@ -141,6 +145,7 @@ def build_simulator(
         seed=seed,
         trace=TraceRecorder(collection=collection),
         scheduler=EventScheduler(batch_dispatch=batch_dispatch),
+        faults=faults,
     )
 
     def default_factory(node_id: NodeId) -> CliffEdgeNode:
@@ -173,6 +178,7 @@ def run_cliff_edge(
     until: Optional[float] = None,
     batch_dispatch: bool = True,
     collection: str = "trace",
+    faults: Optional[FaultModel] = None,
 ) -> RunResult:
     """Run a full cliff-edge consensus scenario and collect the results.
 
@@ -200,6 +206,10 @@ def run_cliff_edge(
         ``"digest"`` streams digest + metrics only and keeps no event
         log.  Digest mode cannot be combined with ``check=True`` (the
         CD1–CD7 checkers walk the full trace).
+    faults:
+        Optional deterministic link-fault model (loss / duplication /
+        reordering, :mod:`repro.sim.faults`); ``None`` keeps the paper's
+        reliable FIFO channels.
     """
     if collection == "digest" and check:
         raise ValueError(
@@ -219,6 +229,7 @@ def run_cliff_edge(
         node_factory=node_factory,
         batch_dispatch=batch_dispatch,
         collection=collection,
+        faults=faults,
     )
     sim.run(until=until, max_events=max_events)
     trace = sim.trace

@@ -30,6 +30,7 @@ from ..failures import CrashSchedule
 from ..graph import KnowledgeGraph, NodeId
 from ..sim.events import EventKind
 from ..sim.failure_detector import FailureDetectorPolicy
+from ..sim.faults import FaultModel
 from ..sim.process import MembershipChange, Process, resolve_attachment
 from ..trace import RunMetrics, TraceRecorder, collect_metrics
 
@@ -128,6 +129,12 @@ class AsyncRuntime:
         schedule itself).  ``None`` keeps the flat ``detection_delay``.
         This is the same policy object the simulator takes, so scripted
         scenarios run identically on both substrates.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultModel`.  The same model
+        object the simulator takes: decisions are keyed by the run seed
+        and each message's per-channel send index, so on the virtual-time
+        loop the fault pattern is identical to the simulator's.  Reorder
+        offsets are simulated-time units (scaled by ``time_scale``).
     """
 
     def __init__(
@@ -137,10 +144,12 @@ class AsyncRuntime:
         time_scale: float = 0.01,
         seed: int = 0,
         failure_detector: Optional[FailureDetectorPolicy] = None,
+        faults: Optional[FaultModel] = None,
     ) -> None:
         self.graph = graph
         self.detection_delay = detection_delay
         self.failure_detector = failure_detector
+        self.faults = faults
         self.time_scale = time_scale
         self.trace = TraceRecorder()
         self._processes: dict[NodeId, Process] = {}
@@ -160,6 +169,13 @@ class AsyncRuntime:
         #: Dedicated stream for detector-policy jitter, so attachment
         #: resolution and detection delays never perturb each other.
         self._detector_rng = random.Random(seed)
+        # Fault decisions never touch self._rng either: they come from
+        # per-message keyed RNGs (repro.sim.faults.message_rng), and the
+        # per-channel send counters below supply the message-identity
+        # half of the key — exactly as in the simulator, so the fault
+        # pattern agrees across substrates.
+        self._fault_seed = seed
+        self._fault_seq: dict[tuple[NodeId, NodeId], int] = {}
         self._incarnation: dict[NodeId, int] = {}
         self._departed: set[NodeId] = set()
         self._epoch = 0
@@ -337,6 +353,26 @@ class AsyncRuntime:
         self.trace.emit(
             self.now(), EventKind.MESSAGE_SENT, node=source, peer=target, payload=message
         )
+        # Fault layer first: in the simulator the fault decision happens
+        # at the send site (a lost message never reaches the delivery
+        # drop-check), and the per-channel counter advances for *every*
+        # send, so the decision stream lines up across substrates.
+        offsets: tuple[float, ...] = (0.0,)
+        faults = self.faults
+        if faults is not None:
+            channel = (source, target)
+            sequence = self._fault_seq.get(channel, 0)
+            self._fault_seq[channel] = sequence + 1
+            offsets = faults.deliveries(source, target, sequence, self._fault_seed)
+            if not offsets:
+                self.trace.emit(
+                    self.now(),
+                    EventKind.MESSAGE_LOST,
+                    node=source,
+                    peer=target,
+                    payload=message,
+                )
+                return
         if target in self._crashed or target in self._departed:
             self.trace.emit(
                 self.now(),
@@ -346,7 +382,48 @@ class AsyncRuntime:
                 payload=message,
             )
             return
-        self._inboxes[target].queue.put_nowait(("message", (source, message)))
+        if len(offsets) > 1:
+            self.trace.emit(
+                self.now(),
+                EventKind.MESSAGE_DUPLICATED,
+                node=source,
+                peer=target,
+                payload=message,
+                copies=len(offsets),
+            )
+        inbox = self._inboxes[target]
+        for offset in offsets:
+            if offset <= 0.0:
+                inbox.queue.put_nowait(("message", (source, message)))
+            else:
+                # Reorder delay: offset is in simulated-time units, like
+                # the crash schedule, so scale it to loop seconds.
+                self._enqueue_later(offset * self.time_scale, source, target, message)
+
+    def _enqueue_later(
+        self, delay: float, source: NodeId, target: NodeId, message: Any
+    ) -> None:
+        """Deliver one fault-delayed copy after ``delay`` loop seconds."""
+        self._pending_callbacks += 1
+        incarnation = self._inc(target)
+
+        def deliver() -> None:
+            self._pending_callbacks -= 1
+            if target in self._crashed or target in self._departed:
+                self.trace.emit(
+                    self.now(),
+                    EventKind.MESSAGE_DROPPED,
+                    node=target,
+                    peer=source,
+                    payload=message,
+                )
+                return
+            if self._inc(target) != incarnation or target not in self._inboxes:
+                return
+            self._inboxes[target].queue.put_nowait(("message", (source, message)))
+
+        assert self._loop is not None
+        self._loop.call_later(delay, deliver)
 
     def _monitor(self, subscriber: NodeId, targets: Iterable[NodeId]) -> None:
         target_list = list(targets)
@@ -572,6 +649,7 @@ async def run_cliff_edge_async(
     membership: Any = None,
     seed: int = 0,
     failure_detector: Optional[FailureDetectorPolicy] = None,
+    faults: Optional[FaultModel] = None,
 ) -> AsyncRunResult:
     """Convenience wrapper: populate, run, and collect results."""
     runtime = AsyncRuntime(
@@ -580,6 +658,7 @@ async def run_cliff_edge_async(
         time_scale=time_scale,
         seed=seed,
         failure_detector=failure_detector,
+        faults=faults,
     )
     runtime.populate(node_factory)
     return await runtime.run(schedule, timeout=timeout, membership=membership)
@@ -595,6 +674,7 @@ def run_cliff_edge_asyncio(
     membership: Any = None,
     seed: int = 0,
     failure_detector: Optional[FailureDetectorPolicy] = None,
+    faults: Optional[FaultModel] = None,
 ) -> AsyncRunResult:
     """Synchronous entry point (creates and drives its own event loop)."""
     return asyncio.run(
@@ -608,5 +688,6 @@ def run_cliff_edge_asyncio(
             membership=membership,
             seed=seed,
             failure_detector=failure_detector,
+            faults=faults,
         )
     )

@@ -10,7 +10,10 @@ Determinism invariants (what every module in this package preserves):
   of the partitioned backend are all invisible to that order;
 * channels are reliable and FIFO per ordered node pair (the delivery
   clamp in :meth:`Simulator._send`), crashed nodes stop instantly, and
-  the failure detector is perfect;
+  the failure detector is perfect — unless a :mod:`repro.sim.faults`
+  model is installed, which breaks the channel assumptions *on purpose*
+  with decisions that are themselves a pure function of the seed and
+  each message's identity;
 * the partitioned backend (:mod:`repro.sim.partition`) splits one run
   across shard schedulers and merges a trace *bit-identical* to the
   sequential simulator's — see that module's docstring for how.
@@ -22,6 +25,15 @@ from .failure_detector import (
     JitteredFailureDetector,
     PerfectFailureDetector,
     ScriptedFailureDetector,
+)
+from .faults import (
+    ComposedFaults,
+    DuplicatingLinks,
+    FaultModel,
+    FaultsError,
+    LossyLinks,
+    ReorderingLinks,
+    compose_faults,
 )
 from .latency import (
     ConstantLatency,
@@ -53,6 +65,13 @@ __all__ = [
     "UniformLatency",
     "ExponentialLatency",
     "PerPairLatency",
+    "FaultModel",
+    "FaultsError",
+    "LossyLinks",
+    "DuplicatingLinks",
+    "ReorderingLinks",
+    "ComposedFaults",
+    "compose_faults",
     "Simulator",
     "SimulationError",
     "DEFAULT_MAX_EVENTS",

@@ -54,6 +54,13 @@ class EventKind(enum.Enum):
     DECIDED = "decided"
     #: Free-form application or baseline event.
     CUSTOM = "custom"
+    # New kinds are appended after CUSTOM: columnar trace storage encodes
+    # kinds by enum-definition position (see repro.trace.columns), so
+    # inserting one mid-list would silently re-code every pickled trace.
+    #: An injected link fault dropped a message (repro.sim.faults).
+    MESSAGE_LOST = "message_lost"
+    #: An injected link fault delivered extra copies of a message.
+    MESSAGE_DUPLICATED = "message_duplicated"
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,7 @@ from ..graph import KnowledgeGraph, NodeId
 from ..trace import TraceRecorder
 from .events import EventKind
 from .failure_detector import FailureDetectorPolicy, PerfectFailureDetector
+from .faults import FaultModel
 from .latency import ConstantLatency, LatencyModel
 from .process import MembershipChange, Process, ProcessContext, resolve_attachment
 from .scheduler import EventScheduler
@@ -105,14 +106,22 @@ class Simulator:
         Optional pre-built :class:`EventScheduler` (the determinism
         regression suite injects an unbatched one to compare dispatch
         modes); a fresh batched scheduler is created otherwise.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultModel` injecting
+        deterministic message loss / duplication / reordering at the
+        send site; ``None`` (the default) keeps the paper's reliable
+        FIFO channels and the exact fault-free event stream.
     """
 
     __slots__ = (
         "graph",
         "latency",
         "failure_detector",
+        "faults",
         "trace",
         "_rng",
+        "_fault_seed",
+        "_fault_seq",
         "_scheduler",
         "_processes",
         "_contexts",
@@ -138,14 +147,23 @@ class Simulator:
         seed: int = 0,
         trace: TraceRecorder | None = None,
         scheduler: EventScheduler | None = None,
+        faults: FaultModel | None = None,
     ) -> None:
         self.graph = graph
         self.latency = latency if latency is not None else ConstantLatency(1.0)
         self.failure_detector = (
             failure_detector if failure_detector is not None else PerfectFailureDetector(1.0)
         )
+        self.faults = faults
         self.trace = trace if trace is not None else TraceRecorder()
         self._rng = random.Random(seed)
+        # Fault decisions never touch self._rng: they come from dedicated
+        # per-message keyed RNGs (repro.sim.faults.message_rng) so the
+        # shared latency/detector stream stays in lockstep with fault-free
+        # and partitioned runs.  The per-channel send counters below are
+        # the message-identity half of that key.
+        self._fault_seed = seed
+        self._fault_seq: dict[tuple[NodeId, NodeId], int] = {}
         self._scheduler = scheduler if scheduler is not None else EventScheduler()
         self._processes: dict[NodeId, Process] = {}
         self._contexts: dict[NodeId, _SimContext] = {}
@@ -329,9 +347,9 @@ class Simulator:
     # ------------------------------------------------------------------
     # Internal mechanics
     # ------------------------------------------------------------------
-    # Every internal scheduling action (except the message hot path, which
-    # the partitioned subclass overrides wholesale) funnels through these
-    # two hooks so that :class:`repro.sim.partition.PartitionSimulator`
+    # Every internal scheduling action funnels through these two hooks
+    # (message deliveries through :meth:`_schedule_delivery`) so that
+    # :class:`repro.sim.partition.PartitionSimulator`
     # can stamp each event with a genealogical order key.  ``fanout``
     # identifies replicated fan-out sites (crash notifications, membership
     # announcements) whose sequential tie order is "sorted by target
@@ -382,7 +400,50 @@ class Simulator:
             delivery_time = earliest
         channel_clock[channel] = delivery_time
         target_incarnation = self._incarnation.get(target, 0)
-        scheduler.schedule_at(
+        faults = self.faults
+        if faults is None:
+            self._schedule_delivery(
+                delivery_time, source, target, message, target_incarnation
+            )
+            return
+        # Fault layer: the base delivery above (latency sample, FIFO clamp,
+        # channel-clock advance) is computed identically with faults on or
+        # off, so the fault-free path stays byte-stable and a dropped
+        # message still consumes its FIFO slot.  The decision is keyed by
+        # the channel's send counter — pure message identity.
+        fault_seq = self._fault_seq
+        sequence = fault_seq.get(channel, 0)
+        fault_seq[channel] = sequence + 1
+        offsets = faults.deliveries(source, target, sequence, self._fault_seed)
+        if not offsets:
+            self.trace.emit(
+                now, EventKind.MESSAGE_LOST, node=source, peer=target, payload=message
+            )
+            return
+        if len(offsets) > 1:
+            self.trace.emit(
+                now,
+                EventKind.MESSAGE_DUPLICATED,
+                node=source,
+                peer=target,
+                payload=message,
+                copies=len(offsets),
+            )
+        for offset in offsets:
+            self._schedule_delivery(
+                delivery_time + offset, source, target, message, target_incarnation
+            )
+
+    def _schedule_delivery(
+        self,
+        delivery_time: float,
+        source: NodeId,
+        target: NodeId,
+        message: Any,
+        target_incarnation: int,
+    ) -> None:
+        """Schedule one delivered copy (partition subclass keys/envelopes it)."""
+        self._scheduler.schedule_at(
             delivery_time,
             lambda: self._deliver(source, target, message, target_incarnation),
         )

@@ -80,8 +80,9 @@ from .failure_detector import (
     PerfectFailureDetector,
     ScriptedFailureDetector,
 )
+from .faults import FaultModel, FaultsError, check_partition_safe
 from .latency import ConstantLatency, LatencyModel, PerPairLatency
-from .network import DEFAULT_MAX_EVENTS, SimulationError, Simulator, _FIFO_EPSILON
+from .network import DEFAULT_MAX_EVENTS, SimulationError, Simulator
 from .scheduler import KeyedEventScheduler
 
 
@@ -183,14 +184,25 @@ def partition_graph(
     return tuple(frozenset(shard) for shard in shards)
 
 
-def _cross_lookahead(latency: LatencyModel) -> float:
+def _cross_lookahead(
+    latency: LatencyModel, faults: Optional[FaultModel] = None
+) -> float:
     """The guaranteed minimum delay of any partition-crossing message.
 
     Only RNG-free latency models are admissible: a random draw at a send
     site would consume the shared seeded stream in partition-dependent
     order and break the lockstep-RNG invariant (and a zero-lookahead
     model would break the barrier protocol).
+
+    Fault models never *shrink* that bound: an injected fault only drops
+    a message or adds a non-negative offset to its base delivery time
+    (:mod:`repro.sim.faults`), so even with an arbitrary reorder window
+    every envelope still satisfies ``delivery_time >= send_time +
+    min_latency`` and the lookahead is the fault-free one.  The check
+    below rejects fault models that cannot guarantee this (or whose
+    decisions would consume shared randomness at send sites).
     """
+    _check_faults(faults)
     if isinstance(latency, ConstantLatency):
         return latency.delay
     if isinstance(latency, PerPairLatency):
@@ -199,6 +211,14 @@ def _cross_lookahead(latency: LatencyModel) -> float:
         "partitioned runs need a deterministic latency model "
         f"(constant or per-pair), got {type(latency).__name__}"
     )
+
+
+def _check_faults(faults: Optional[FaultModel]) -> None:
+    """Reject fault models the partitioned backend cannot shard safely."""
+    try:
+        check_partition_safe(faults)
+    except FaultsError as exc:
+        raise PartitionError(str(exc)) from exc
 
 
 def _check_failure_detector(policy: FailureDetectorPolicy) -> None:
@@ -346,6 +366,7 @@ class PartitionSimulator(Simulator):
         failure_detector: FailureDetectorPolicy | None = None,
         seed: int = 0,
         collection: str = "trace",
+        faults: FaultModel | None = None,
     ) -> None:
         super().__init__(
             graph,
@@ -353,10 +374,11 @@ class PartitionSimulator(Simulator):
             failure_detector=failure_detector,
             seed=seed,
             scheduler=KeyedEventScheduler(),
+            faults=faults,
         )
         self._scheduler.context = self  # type: ignore[attr-defined]
         _check_failure_detector(self.failure_detector)
-        _cross_lookahead(self.latency)
+        _cross_lookahead(self.latency, self.faults)
         self._owned = frozenset(shards[pid])
         self._owner_of = {
             node: index for index, shard in enumerate(shards) for node in shard
@@ -512,30 +534,21 @@ class PartitionSimulator(Simulator):
         return super()._spawn_process(node)
 
     # -- the message hot path ------------------------------------------
-    def _send(self, source: NodeId, target: NodeId, message: Any) -> None:
-        # Mirrors Simulator._send exactly, with one extra branch: a
-        # foreign target turns the (identically computed) delivery into an
-        # outbox envelope instead of a local scheduling.
-        if target not in self.graph:
-            raise SimulationError(f"message addressed to unknown node {target!r}")
-        if source in self._crashed or source in self._departed:
-            return
-        scheduler = self._scheduler
-        now = scheduler.now
-        self.trace.emit(
-            now, EventKind.MESSAGE_SENT, node=source, peer=target, payload=message
-        )
-        delay = self.latency.sample(source, target, self._rng)
-        if delay <= 0:
-            raise SimulationError("latency model produced a non-positive delay")
-        channel = (source, target)
-        channel_clock = self._channel_clock
-        earliest = channel_clock.get(channel, 0.0) + _FIFO_EPSILON
-        delivery_time = now + delay
-        if delivery_time < earliest:
-            delivery_time = earliest
-        channel_clock[channel] = delivery_time
-        target_incarnation = self._incarnation.get(target, 0)
+    # The send path itself (latency sample, FIFO clamp, channel-clock
+    # advance, fault decisions) is inherited verbatim from
+    # Simulator._send — one implementation means faults and clocks cannot
+    # diverge between backends.  Only the final act of scheduling a
+    # delivered copy differs: it gets a genealogical key, and a foreign
+    # target turns it into an outbox envelope carrying the (identically
+    # computed, fault-offset-included) delivery time.
+    def _schedule_delivery(
+        self,
+        delivery_time: float,
+        source: NodeId,
+        target: NodeId,
+        message: Any,
+        target_incarnation: int,
+    ) -> None:
         key = self._mint_key(None)
         if self._owner_of[target] == self._pid:
             self._schedule_keyed(
@@ -626,6 +639,7 @@ class _WorkerConfig:
     max_events: int
     until: Optional[float]
     collection: str = "trace"
+    faults: Optional[FaultModel] = None
 
 
 def _build_partition(config: _WorkerConfig) -> PartitionSimulator:
@@ -639,6 +653,7 @@ def _build_partition(config: _WorkerConfig) -> PartitionSimulator:
         failure_detector=config.failure_detector,
         seed=config.seed,
         collection=config.collection,
+        faults=config.faults,
     )
     sim.populate(
         lambda node_id: CliffEdgeNode(
@@ -979,6 +994,7 @@ def run_partitioned(
     until: Optional[float] = None,
     backend: str = "auto",
     collection: str = "trace",
+    faults: Optional[FaultModel] = None,
 ):
     """Run one scenario on the partitioned backend.
 
@@ -1028,7 +1044,7 @@ def run_partitioned(
         failure_detector if failure_detector is not None else PerfectFailureDetector(1.0)
     )
     _check_failure_detector(effective_detector)
-    lookahead = _cross_lookahead(effective_latency)
+    lookahead = _cross_lookahead(effective_latency, faults)
     if backend == "auto":
         import multiprocessing
 
@@ -1065,6 +1081,7 @@ def run_partitioned(
             max_events=max_events,
             until=until,
             collection=collection,
+            faults=faults,
         )
         for pid in range(partitions)
     ]

@@ -28,6 +28,7 @@ from ..failures import CrashSchedule
 from ..graph import KnowledgeGraph, NodeId
 from ..runtime.async_runtime import AsyncRunResult, AsyncRuntime
 from ..sim.failure_detector import FailureDetectorPolicy
+from ..sim.faults import FaultModel
 from ..sim.process import Process
 from .loop import VirtualClockEventLoop
 
@@ -49,6 +50,7 @@ class VirtualRuntime:
         time_scale: float = 0.01,
         seed: int = 0,
         failure_detector: Optional[FailureDetectorPolicy] = None,
+        faults: Optional[FaultModel] = None,
     ) -> None:
         self.loop = VirtualClockEventLoop()
         self.runtime = AsyncRuntime(
@@ -57,6 +59,7 @@ class VirtualRuntime:
             time_scale=time_scale,
             seed=seed,
             failure_detector=failure_detector,
+            faults=faults,
         )
 
     # -- delegated configuration ---------------------------------------
@@ -118,6 +121,7 @@ def run_cliff_edge_virtual(
     membership: Any = None,
     seed: int = 0,
     failure_detector: Optional[FailureDetectorPolicy] = None,
+    faults: Optional[FaultModel] = None,
     max_events: Optional[int] = None,
 ) -> AsyncRunResult:
     """Convenience wrapper mirroring ``run_cliff_edge_asyncio``, virtual."""
@@ -127,6 +131,7 @@ def run_cliff_edge_virtual(
         time_scale=time_scale,
         seed=seed,
         failure_detector=failure_detector,
+        faults=faults,
     )
     runtime.populate(node_factory)
     return runtime.run(

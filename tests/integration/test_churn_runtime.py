@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.churn import (
@@ -27,6 +29,20 @@ from repro.sim.events import EventKind
 
 BLOCK = [(2, 2), (2, 3), (3, 2), (3, 3)]
 
+def churn_asyncio(*args, **kwargs):
+    """The churn harness's asyncio leg, on virtual time by default.
+
+    CI routes this leg through the deterministic virtual-time loop
+    (ROADMAP item 3): zero real sleeps, reproducible digests.  Set
+    ``REPRO_CHURN_WALLCLOCK=1`` to drive the same runtime on the wall
+    clock instead; dedicated wall-clock coverage also lives in
+    ``tests/integration/test_asyncio_runtime.py``.
+    """
+    kwargs.setdefault(
+        "virtual", os.environ.get("REPRO_CHURN_WALLCLOCK", "") != "1"
+    )
+    return run_churn_asyncio(*args, **kwargs)
+
 
 class TestCrashRecoverRecrash:
     @pytest.fixture(scope="class")
@@ -45,7 +61,7 @@ class TestCrashRecoverRecrash:
     @pytest.fixture(scope="class")
     def async_result(self, scenario):
         graph, crashes, membership = scenario
-        return run_churn_asyncio(graph, crashes, membership, check=True)
+        return churn_asyncio(graph, crashes, membership, check=True)
 
     def test_simulator_satisfies_epoch_specification(self, sim_result):
         assert sim_result.quiescent
@@ -159,7 +175,7 @@ class TestDistantWatcherRecovery:
             (("A", 1.0), ("B", 1.0), ("A", 80.0)), allow_recrash=True
         )
         membership = MembershipSchedule((recover("A", 40.0), recover("B", 40.0)))
-        for runner in (run_churn, run_churn_asyncio):
+        for runner in (run_churn, churn_asyncio):
             result = runner(graph, crashes, membership, check=True)
             assert result.quiescent
             assert result.specification.holds, (

@@ -86,6 +86,7 @@ class TestReportSections:
         ("asyncio_runtime.py", "both runtimes agreed on the same crashed region(s): True"),
         ("churn_recovery.py", "same decided views as the simulator: True"),
         ("declarative_spec.py", "all hold: True"),
+        ("lossy_links.py", "acceptable (every failure excused): True"),
     ],
 )
 def test_example_scripts_run(script, expected):

@@ -1,0 +1,318 @@
+"""Fault-model property battery.
+
+The fault layer's contract is that every loss / duplication / reorder
+decision is a pure function of the *message's identity* — never of
+execution order, process, ``PYTHONHASHSEED``, or which other fault knobs
+are enabled.  This suite pins that contract on hypothesis-generated
+channels and sequences:
+
+* keyed-RNG purity: :func:`message_rng` yields an identical stream for
+  identical keys and (statistically) independent streams across
+  sequences, channels, stages and seeds;
+* model determinism: every built-in model returns the same offsets for
+  the same ``(source, target, sequence, seed)``, from any instance;
+* statistical contracts: empirical loss / duplication rates land within
+  tolerance of the configured rates, reorder offsets are bounded by the
+  window, and ``max_extra_delay`` really bounds every offset;
+* composition independence: a knob's decisions are unchanged by
+  enabling or disabling the other stages;
+* end-to-end: the same spec + seed produces byte-identical digests
+  under every fault model — across repeated runs and across fresh
+  interpreters with different ``PYTHONHASHSEED`` values — and a spec
+  without a ``faults`` block keeps today's document bytes and digest.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import ExperimentSession, ExperimentSpec, quickstart_spec
+from repro.sim.faults import (
+    ComposedFaults,
+    DuplicatingLinks,
+    FaultModel,
+    FaultsError,
+    LossyLinks,
+    ReorderingLinks,
+    check_partition_safe,
+    compose_faults,
+    message_rng,
+)
+
+#: Node ids shaped like the ones real topologies use (tuples, strings).
+node_ids = st.one_of(
+    st.tuples(st.integers(0, 9), st.integers(0, 9)),
+    st.text(min_size=1, max_size=4),
+    st.integers(0, 99),
+)
+
+seeds = st.integers(0, 2**31)
+sequences = st.integers(0, 10_000)
+
+
+class TestMessageRng:
+    @given(seed=seeds, source=node_ids, target=node_ids, sequence=sequences)
+    @settings(max_examples=60)
+    def test_identical_keys_identical_stream(self, seed, source, target, sequence):
+        first = message_rng(seed, "stage", source, target, sequence)
+        second = message_rng(seed, "stage", source, target, sequence)
+        assert [first.random() for _ in range(5)] == [
+            second.random() for _ in range(5)
+        ]
+
+    @given(seed=seeds, source=node_ids, target=node_ids, sequence=sequences)
+    @settings(max_examples=60)
+    def test_key_components_separate_streams(self, seed, source, target, sequence):
+        base = message_rng(seed, "stage", source, target, sequence).random()
+        assert message_rng(seed, "stage", source, target, sequence + 1).random() != base
+        assert message_rng(seed + 1, "stage", source, target, sequence).random() != base
+        assert message_rng(seed, "other", source, target, sequence).random() != base
+
+    def test_direction_matters(self):
+        forward = message_rng(0, "s", "a", "b", 0).random()
+        backward = message_rng(0, "s", "b", "a", 0).random()
+        assert forward != backward
+
+
+class TestModelDeterminism:
+    @given(
+        source=node_ids,
+        target=node_ids,
+        sequence=sequences,
+        seed=seeds,
+        rate=st.floats(0.0, 0.99),
+    )
+    @settings(max_examples=60)
+    def test_lossy_pure_function_of_identity(self, source, target, sequence, seed, rate):
+        first = LossyLinks(rate).deliveries(source, target, sequence, seed)
+        second = LossyLinks(rate).deliveries(source, target, sequence, seed)
+        assert first == second
+        assert first in ((), (0.0,))
+
+    @given(sequence=sequences, seed=seeds, copies=st.integers(2, 5))
+    @settings(max_examples=60)
+    def test_duplicating_copy_count(self, sequence, seed, copies):
+        offsets = DuplicatingLinks(0.5, copies=copies).deliveries(
+            "a", "b", sequence, seed
+        )
+        assert len(offsets) in (1, copies)
+        assert all(offset == 0.0 for offset in offsets)
+
+    @given(sequence=sequences, seed=seeds, window=st.floats(0.1, 20.0))
+    @settings(max_examples=60)
+    def test_reordering_offset_bounded_by_window(self, sequence, seed, window):
+        model = ReorderingLinks(window)
+        (offset,) = model.deliveries("a", "b", sequence, seed)
+        assert 0.0 <= offset <= window == model.max_extra_delay()
+
+    def test_model_seed_forks_the_stream(self):
+        picks = {
+            seed: tuple(
+                LossyLinks(0.5, seed=seed).deliveries("a", "b", n, 0)
+                for n in range(64)
+            )
+            for seed in (0, 1)
+        }
+        assert picks[0] != picks[1]
+
+
+class TestStatisticalContracts:
+    N = 4000
+
+    def _drop_fraction(self, model, seed=0):
+        dropped = sum(
+            1 for n in range(self.N) if not model.deliveries("a", "b", n, seed)
+        )
+        return dropped / self.N
+
+    def test_empirical_loss_rate(self):
+        for rate in (0.05, 0.2, 0.5):
+            assert abs(self._drop_fraction(LossyLinks(rate)) - rate) < 0.03
+
+    def test_zero_rates_are_inert(self):
+        for model in (LossyLinks(0.0), DuplicatingLinks(0.0), ReorderingLinks(1.0, rate=0.0)):
+            assert all(
+                model.deliveries("a", "b", n, 7) == (0.0,) for n in range(200)
+            )
+
+    def test_empirical_duplication_rate(self):
+        model = DuplicatingLinks(0.25, copies=3)
+        duplicated = sum(
+            1
+            for n in range(self.N)
+            if len(model.deliveries("a", "b", n, 0)) == 3
+        )
+        assert abs(duplicated / self.N - 0.25) < 0.03
+
+    def test_empirical_reorder_rate_and_spread(self):
+        model = ReorderingLinks(2.0, rate=0.5)
+        offsets = [model.deliveries("a", "b", n, 0)[0] for n in range(self.N)]
+        delayed = [offset for offset in offsets if offset > 0.0]
+        assert abs(len(delayed) / self.N - 0.5) < 0.03
+        assert all(offset <= 2.0 for offset in offsets)
+        # Uniform(0, 2) mean is 1.0.
+        assert abs(sum(delayed) / len(delayed) - 1.0) < 0.1
+
+    def test_composed_max_extra_delay_bounds_offsets(self):
+        model = compose_faults(
+            ReorderingLinks(1.5), DuplicatingLinks(0.3), ReorderingLinks(0.5)
+        )
+        bound = model.max_extra_delay()
+        assert bound == 2.0
+        for n in range(500):
+            for offset in model.deliveries("a", "b", n, 3):
+                assert 0.0 <= offset <= bound
+
+
+class TestCompositionIndependence:
+    def _drops(self, model, seed=0):
+        return {n for n in range(600) if not model.deliveries("a", "b", n, seed)}
+
+    def test_loss_decisions_survive_other_knobs(self):
+        """Enabling duplication/reorder must not change *which* messages
+        the loss stage drops — each stage has its own keyed stream."""
+        alone = self._drops(compose_faults(LossyLinks(0.3), DuplicatingLinks(0.0)))
+        with_dup = self._drops(compose_faults(LossyLinks(0.3), DuplicatingLinks(0.9)))
+        with_reorder = self._drops(
+            compose_faults(LossyLinks(0.3), DuplicatingLinks(0.0), ReorderingLinks(5.0))
+        )
+        assert alone == with_dup == with_reorder
+
+    def test_compose_flattens_and_passes_single_through(self):
+        single = LossyLinks(0.1)
+        assert compose_faults(single) is single
+        nested = compose_faults(compose_faults(LossyLinks(0.1), DuplicatingLinks(0.2)), ReorderingLinks(1.0))
+        assert isinstance(nested, ComposedFaults)
+        assert [type(stage).__name__ for stage in nested.stages] == [
+            "LossyLinks",
+            "DuplicatingLinks",
+            "ReorderingLinks",
+        ]
+
+    def test_protocol_conformance(self):
+        for model in (
+            LossyLinks(0.1),
+            DuplicatingLinks(0.1),
+            ReorderingLinks(1.0),
+            compose_faults(LossyLinks(0.1), ReorderingLinks(1.0)),
+        ):
+            assert isinstance(model, FaultModel)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: LossyLinks(-0.1),
+            lambda: LossyLinks(1.0),  # drop-everything is a config mistake
+            lambda: LossyLinks(0.1, seed="x"),
+            lambda: DuplicatingLinks(1.5),
+            lambda: DuplicatingLinks(0.5, copies=1),
+            lambda: DuplicatingLinks(0.5, copies=2.0),
+            lambda: ReorderingLinks(0.0),
+            lambda: ReorderingLinks(-1.0),
+            lambda: ReorderingLinks(1.0, rate=2.0),
+            lambda: ComposedFaults(()),
+            lambda: ComposedFaults((object(),)),
+            lambda: compose_faults(),
+        ],
+    )
+    def test_bad_parameters_rejected(self, build):
+        with pytest.raises(FaultsError):
+            build()
+
+    def test_partition_safety_gate(self):
+        check_partition_safe(None)
+        check_partition_safe(LossyLinks(0.2))
+        check_partition_safe(compose_faults(LossyLinks(0.1), ReorderingLinks(1.0)))
+
+        class Custom:
+            def deliveries(self, source, target, sequence, seed=0):
+                return (0.0,)
+
+            def max_extra_delay(self):
+                return 0.0
+
+        with pytest.raises(FaultsError):
+            check_partition_safe(Custom())
+        with pytest.raises(FaultsError):
+            check_partition_safe(ComposedFaults((LossyLinks(0.1), ReorderingLinks(1.0), Custom())))
+
+
+def _faulted_spec(faults):
+    spec = quickstart_spec(side=5, block=2, seed=3)
+    return spec.with_faults(faults) if faults is not None else spec
+
+
+FAULT_BLOCKS = [
+    {"loss": 0.05},
+    {"duplication": 0.3, "copies": 3},
+    {"reorder": 1.0, "reorder_rate": 0.5},
+    {"loss": 0.02, "duplication": 0.1, "reorder": 0.5, "seed": 9},
+]
+
+
+class TestEndToEndDeterminism:
+    @pytest.mark.parametrize("faults", FAULT_BLOCKS)
+    def test_same_spec_same_digest(self, faults):
+        spec = _faulted_spec(faults)
+        session = ExperimentSession()
+        first = session.run(spec)
+        second = session.run(spec)
+        assert first.digest() == second.digest()
+
+    def test_faults_change_the_trace(self):
+        base = ExperimentSession().run(_faulted_spec(None))
+        lossy = ExperimentSession().run(_faulted_spec({"loss": 0.2}))
+        assert base.digest() != lossy.digest()
+
+    def test_no_faults_keeps_document_bytes(self):
+        """A spec without faults must serialize exactly as before the
+        fault layer existed — no ``faults`` key, stable digest."""
+        spec = _faulted_spec(None)
+        assert "faults" not in spec.to_dict()["runtime"]
+        round_tripped = ExperimentSpec.from_json(spec.to_json())
+        assert round_tripped.to_json() == spec.to_json()
+        assert round_tripped.digest() == spec.digest()
+
+    def test_explicit_zero_loss_matches_no_faults_trace(self):
+        """``loss=0.0`` is a valid block and behaviourally identical to
+        no faults (every message yields the single undelayed copy)."""
+        plain = ExperimentSession().run(_faulted_spec(None))
+        zero = ExperimentSession().run(_faulted_spec({"loss": 0.0}))
+        assert plain.digest() == zero.digest()
+
+    def test_digest_stable_across_hashseed_processes(self):
+        """Fresh interpreters with different ``PYTHONHASHSEED`` values
+        produce byte-identical digests under a combined fault block."""
+        faults = {"loss": 0.05, "duplication": 0.2, "reorder": 0.5}
+        document = _faulted_spec(faults).to_json()
+        script = (
+            "import sys\n"
+            "from repro.api import ExperimentSession, load_spec\n"
+            "spec = load_spec(sys.stdin.read())\n"
+            "print(ExperimentSession().run(spec).digest())\n"
+        )
+        digests = set()
+        for hashseed in ("1", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                filter(None, ["src", env.get("PYTHONPATH", "")])
+            )
+            completed = subprocess.run(
+                [sys.executable, "-c", script],
+                input=document,
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+                timeout=120,
+            )
+            digests.add(completed.stdout.strip())
+        assert len(digests) == 1
+        assert len(digests.pop()) == 64

@@ -156,6 +156,101 @@ class TestValidation:
         assert TOPOLOGY_KINDS == tuple(sorted(_TOPOLOGY_BUILDERS))
 
 
+class TestFaultsValidation:
+    """The ``RuntimeSpec.faults`` block fails at construction, not at run."""
+
+    @pytest.mark.parametrize(
+        "faults,match",
+        [
+            ({"loss": -0.1}, "bad faults spec"),
+            ({"loss": 1.0}, "bad faults spec"),  # drop-everything channel
+            ({"duplication": 2.0}, "bad faults spec"),
+            ({"duplication": 0.5, "copies": 1}, "bad faults spec"),
+            ({"reorder": 0.0}, "bad faults spec"),
+            ({"reorder": -2.0}, "bad faults spec"),
+            ({"reorder": 1.0, "reorder_rate": 1.5}, "bad faults spec"),
+            ({"loss": 0.1, "seed": "x"}, "seed"),
+            ({"loss": 0.1, "seed": True}, "seed"),
+            ({"copies": 3}, "base knob"),
+            ({"reorder_rate": 0.5}, "base knob"),
+            ({"copies": 3, "reorder_rate": 0.5}, "base knob"),
+            ({"seed": 1}, "enables no fault"),
+            ({}, "enables no fault"),
+            ({"lss": 0.1}, "unknown"),
+            ("loss=0.1", "mapping"),
+        ],
+    )
+    def test_bad_blocks_rejected_at_construction(self, faults, match):
+        with pytest.raises(SpecError, match=match):
+            RuntimeSpec(faults=faults)
+
+    def test_valid_block_resolves_to_composition(self):
+        from repro.sim.faults import ComposedFaults, LossyLinks
+
+        spec = RuntimeSpec(
+            faults={"loss": 0.1, "duplication": 0.2, "reorder": 1.5, "seed": 7}
+        )
+        model = spec.resolve_faults()
+        assert isinstance(model, ComposedFaults)
+        assert [type(stage).__name__ for stage in model.stages] == [
+            "LossyLinks",
+            "DuplicatingLinks",
+            "ReorderingLinks",
+        ]
+        assert all(stage.seed == 7 for stage in model.stages)
+        single = RuntimeSpec(faults={"loss": 0.1}).resolve_faults()
+        assert isinstance(single, LossyLinks)
+        assert RuntimeSpec().resolve_faults() is None
+
+    def test_faults_serialized_only_when_set(self):
+        assert "faults" not in RuntimeSpec().to_dict()
+        data = RuntimeSpec(faults={"loss": 0.1}).to_dict()
+        assert data["faults"] == {"loss": 0.1}
+        assert RuntimeSpec.from_dict(data).faults == {"loss": 0.1}
+
+    def test_fault_free_digest_unchanged_by_field_existence(self):
+        """The ``faults`` field must not leak into fault-free documents:
+        their bytes (hence digests) predate the fault layer."""
+        spec = grid_spec()
+        assert "faults" not in spec.to_dict()["runtime"]
+        faulted = spec.with_faults({"loss": 0.1})
+        assert faulted.digest() != spec.digest()
+        assert faulted.with_faults(None).digest() == spec.digest()
+
+    def test_with_faults_round_trip(self):
+        spec = grid_spec().with_faults({"duplication": 0.2, "copies": 3})
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.runtime.faults == {"duplication": 0.2, "copies": 3}
+
+
+class TestLatencyValidation:
+    """Latency blocks are validated eagerly too (same rationale)."""
+
+    @pytest.mark.parametrize(
+        "latency,match",
+        [
+            ({"kind": "warp"}, "unknown latency kind"),
+            ({"kind": "constant", "delay": -1.0}, "bad latency spec"),
+            ({"kind": "constant", "dealy": 1.0}, "bad latency spec"),
+            ({"kind": "uniform", "low": 2.0, "high": 1.0}, "bad latency spec"),
+            ({"kind": "exponential", "mean": 0.0}, "bad latency spec"),
+            (3.5, "mapping"),
+        ],
+    )
+    def test_bad_blocks_rejected_at_construction(self, latency, match):
+        with pytest.raises(SpecError, match=match):
+            RuntimeSpec(latency=latency)
+
+    def test_valid_latency_still_resolves(self):
+        from repro.sim import UniformLatency
+
+        spec = RuntimeSpec(latency={"kind": "uniform", "low": 0.5, "high": 1.5})
+        model = spec.resolve_latency()
+        assert isinstance(model, UniformLatency)
+        assert (model.low, model.high) == (0.5, 1.5)
+
+
 class TestDigest:
     def test_digest_is_stable_across_param_order(self):
         a = spec_digest({"x": 1, "y": (2, 3)})
